@@ -1,0 +1,100 @@
+// Ablation A5: ranging scheme vs crystal drift. The paper's SS-TWR (Eq. 2)
+// needs the receiver's carrier-frequency-offset estimate to survive drift
+// over the 290 us reply time; double-sided TWR cancels drift structurally
+// at the cost of a third message. This bench sweeps the crystal quality and
+// compares all three variants on the same simulated radios at 5 m.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dsp/stats.hpp"
+#include "ranging/dstwr.hpp"
+
+namespace {
+
+using namespace uwb;
+
+struct Stats {
+  double rms = 0.0, sigma = 0.0;
+  int n = 0;
+};
+
+Stats stats_of(const RVec& errs) {
+  if (errs.empty()) return {};
+  return {dsp::rms(errs), dsp::stddev(errs), static_cast<int>(errs.size())};
+}
+
+// Each session draws one crystal pair; average over many sessions so the
+// drift statistics (not a single draw) shape the result.
+constexpr int kSessions = 20;
+
+RVec run_ss_twr(double drift_ppm, bool cfo_correction, int trials,
+                std::uint64_t seed) {
+  RVec errs;
+  for (int s = 0; s < kSessions; ++s) {
+    ranging::ScenarioConfig cfg;
+    cfg.room = geom::Room::rectangular(30.0, 10.0, 12.0);
+    cfg.initiator_position = {2.0, 5.0};
+    cfg.responders = {{0, {7.0, 5.0}}};
+    cfg.clock_drift_sigma_ppm = drift_ppm;
+    cfg.cfo_correction = cfo_correction;
+    cfg.seed = seed + static_cast<std::uint64_t>(s) * 101;
+    ranging::ConcurrentRangingScenario scenario(cfg);
+    for (int t = 0; t < trials / kSessions + 1; ++t) {
+      const auto out = scenario.run_round();
+      if (out.payload_decoded) errs.push_back(out.d_twr_m - 5.0);
+    }
+  }
+  return errs;
+}
+
+RVec run_ds_twr(double drift_ppm, int trials, std::uint64_t seed) {
+  RVec errs;
+  for (int s = 0; s < kSessions; ++s) {
+    ranging::DsTwrSessionConfig cfg;
+    cfg.room = geom::Room::rectangular(30.0, 10.0, 12.0);
+    cfg.initiator_position = {2.0, 5.0};
+    cfg.responder_position = {7.0, 5.0};
+    cfg.clock_drift_sigma_ppm = drift_ppm;
+    cfg.seed = seed + static_cast<std::uint64_t>(s) * 101;
+    ranging::DsTwrSession session(cfg);
+    for (int t = 0; t < trials / kSessions + 1; ++t) {
+      const auto r = session.run_round();
+      if (r.ok) errs.push_back(r.distance_m - 5.0);
+    }
+  }
+  return errs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace uwb;
+  const int trials = bench::trials_arg(argc, argv, 250);
+  bench::heading("Ablation — SS-TWR vs CFO-corrected SS-TWR vs DS-TWR (5 m)");
+  std::printf("(%d rounds per scheme per drift level)\n", trials);
+
+  std::printf("\n%-14s %-20s %-20s %-20s\n", "drift sigma", "SS-TWR raw",
+              "SS-TWR + CFO", "DS-TWR");
+  std::printf("%-14s %-20s %-20s %-20s\n", "[ppm]", "rms [m]", "rms [m]",
+              "rms [m]");
+
+  // Each drift pair draws independently per node; the SS-TWR raw error
+  // scales as c * (relative drift) * T_reply / 2.
+  for (const double drift_ppm : {0.5, 2.0, 5.0, 10.0, 20.0}) {
+    const auto seed = 1200 + static_cast<std::uint64_t>(drift_ppm * 10.0);
+    const Stats raw = stats_of(run_ss_twr(drift_ppm, false, trials, seed));
+    const Stats cfo = stats_of(run_ss_twr(drift_ppm, true, trials, seed + 1));
+    const Stats dst = stats_of(run_ds_twr(drift_ppm, trials, seed + 2));
+    std::printf("%-14.1f %-20.3f %-20.3f %-20.3f\n", drift_ppm, raw.rms,
+                cfo.rms, dst.rms);
+  }
+
+  std::printf(
+      "\ncheck: raw SS-TWR degrades linearly with drift (~4.3 cm per ppm of\n"
+      "relative drift at T_reply = 290 us); the CFO correction and DS-TWR\n"
+      "both hold centimetre precision. Concurrent ranging inherits the\n"
+      "correction because the initiator estimates the CFO from the\n"
+      "aggregated response it decodes.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation A6: slot-aware response selection (extension). With the combined
+// RPM x pulse-shaping scheme at high load, a strong multipath component of
+// a near responder occasionally out-ranks a far responder's direct path in
+// the global N-1 selection (the residual failure mode of Sect. IV's
+// detector). Extracting extra peaks and collapsing them per decoded ID
+// recovers most of those losses at zero protocol cost.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace uwb;
+
+ranging::ScenarioConfig fig8_scenario(std::uint64_t seed) {
+  ranging::ScenarioConfig cfg;
+  cfg.room = geom::Room::rectangular(16.0, 10.0, 8.0);  // livelier multipath
+  cfg.initiator_position = {1.0, 5.0};
+  cfg.seed = seed;
+  cfg.ranging.num_slots = 4;
+  cfg.ranging.slot_spacing_s = 150e-9;
+  cfg.ranging.shape_registers = {0x93, 0xC8, 0xE6};
+  cfg.responders = {
+      {0, {4.0, 5.0}},  {1, {6.5, 3.0}},  {2, {9.0, 7.0}},
+      {3, {11.0, 4.0}}, {4, {5.5, 7.5}},  {5, {8.0, 2.5}},
+      {6, {12.5, 6.5}}, {7, {14.0, 5.0}}, {8, {7.0, 5.5}},
+  };
+  return cfg;
+}
+
+struct Score {
+  int rounds = 0;
+  int decoded_ids = 0;   // unique correct IDs with accurate distance
+  int wrong_ids = 0;     // IDs decoded with a wrong distance
+};
+
+Score evaluate(bool slot_aware, int trials, std::uint64_t seed) {
+  ranging::ScenarioConfig cfg = fig8_scenario(seed);
+  if (slot_aware) {
+    cfg.detect_max_responses = 16;  // extract generously, then collapse
+    cfg.slot_aware_selection = true;
+  }
+  ranging::ConcurrentRangingScenario scenario(cfg);
+  Score score;
+  for (int t = 0; t < trials; ++t) {
+    const auto out = scenario.run_round();
+    if (!out.payload_decoded) continue;
+    ++score.rounds;
+    std::vector<bool> seen(9, false);
+    for (const auto& est : out.estimates) {
+      if (est.responder_id < 0 || est.responder_id > 8) continue;
+      if (seen[static_cast<std::size_t>(est.responder_id)]) continue;
+      seen[static_cast<std::size_t>(est.responder_id)] = true;
+      const double truth = scenario.true_distance(est.responder_id);
+      if (std::abs(est.distance_m - truth) < 1.0)
+        ++score.decoded_ids;
+      else
+        ++score.wrong_ids;
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace uwb;
+  const int trials = bench::trials_arg(argc, argv, 150);
+  bench::heading("Ablation — slot-aware selection at full Fig. 8 load");
+  std::printf("(9 responders, 4 slots x 3 shapes, %d rounds per variant)\n",
+              trials);
+
+  std::printf("\n%-34s %-18s %s\n", "variant", "IDs ranged", "wrong distance");
+  for (const bool slot_aware : {false, true}) {
+    const Score s = evaluate(slot_aware, trials, 1300);
+    const double per_round =
+        s.rounds ? static_cast<double>(s.decoded_ids) / s.rounds : 0.0;
+    const double wrong =
+        s.rounds ? static_cast<double>(s.wrong_ids) / s.rounds : 0.0;
+    std::printf("%-34s %5.2f / 9 per round  %.2f per round\n",
+                slot_aware ? "slot-aware (extract 16, collapse)"
+                           : "paper baseline (global top N-1)",
+                per_round, wrong);
+  }
+
+  std::printf(
+      "\ncheck: collapsing per decoded identity recovers responders whose\n"
+      "direct path ranked below another responder's multipath, without any\n"
+      "change on the air.\n");
+  return 0;
+}

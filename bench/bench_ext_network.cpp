@@ -1,0 +1,74 @@
+// Extension A7: network-wide all-pairs ranging, *measured* on the simulated
+// radios (not just the analytic message counts of Sect. III). Every node
+// initiates one concurrent round; the sweep yields the full distance matrix
+// with N broadcasts instead of N(N-1) scheduled exchanges.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "bench_util.hpp"
+#include "dsp/stats.hpp"
+#include "ranging/capacity.hpp"
+#include "ranging/network.hpp"
+
+int main(int argc, char** argv) {
+  using namespace uwb;
+  const int trials = bench::trials_arg(argc, argv, 10);
+  bench::heading("Extension — all-pairs network ranging (measured in-sim)");
+  std::printf("(%d sweeps per network size)\n", trials);
+
+  std::printf("\n%-6s %-12s %-14s %-14s %-16s %-16s %s\n", "N", "pairs",
+              "filled", "mean |err| [m]", "energy [mJ]", "TWR energy [mJ]",
+              "sweep time [ms]");
+
+  for (const int n : {3, 5, 8, 12}) {
+    ranging::NetworkConfig cfg;
+    cfg.room = geom::Room::rectangular(20.0, 14.0, 10.0);
+    cfg.ranging.num_slots = 4;
+    cfg.ranging.slot_spacing_s = 150e-9;
+    cfg.ranging.shape_registers = {0x93, 0xC8, 0xE6};
+    cfg.seed = 1400 + static_cast<std::uint64_t>(n);
+    // Ring of nodes.
+    for (int i = 0; i < n; ++i) {
+      const double ang = 2.0 * std::numbers::pi * i / n + 0.4;
+      cfg.node_positions.push_back(
+          {10.0 + 6.5 * std::cos(ang), 7.0 + 4.5 * std::sin(ang)});
+    }
+    ranging::NetworkRangingSession session(cfg);
+
+    int filled = 0, total_pairs = 0;
+    RVec errs;
+    double energy_j = 0.0, time_s = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      const auto sweep = session.run_full_sweep();
+      energy_j = sweep.total_energy_j;  // cumulative across sweeps
+      time_s += sweep.duration_s;
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) {
+          if (i == j) continue;
+          ++total_pairs;
+          const auto& d = sweep.matrix[static_cast<std::size_t>(i)]
+                                      [static_cast<std::size_t>(j)];
+          if (!d.has_value()) continue;
+          ++filled;
+          errs.push_back(std::abs(*d - session.true_distance(i, j)));
+        }
+    }
+    // Analytic SS-TWR energy for the same task (every node ranges to all
+    // others with scheduled exchanges).
+    const auto twr = ranging::twr_round_cost(n - 1, cfg.phy, 290e-6,
+                                             dw::EnergyModelParams{});
+    std::printf("%-6d %-12d %5.1f %%       %-14.3f %-16.3f %-16.3f %.2f\n", n,
+                total_pairs, 100.0 * filled / total_pairs,
+                errs.empty() ? 0.0 : dsp::mean(errs),
+                energy_j * 1e3 / trials, twr.network_j * n * 1e3,
+                time_s * 1e3 / trials);
+  }
+
+  std::printf(
+      "\ncheck: the sweep fills the distance matrix with N broadcasts; the\n"
+      "measured radio energy stays far below the scheduled-TWR requirement\n"
+      "and the gap widens with N (the paper's Sect. III argument, observed\n"
+      "end-to-end rather than counted).\n");
+  return 0;
+}

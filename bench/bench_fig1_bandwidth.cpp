@@ -1,0 +1,87 @@
+// Reproduces paper Fig. 1: multipath reflections in a rectangular room
+// (Fig. 1a floor plan) and the theoretically received pulses at 900 MHz vs
+// 50 MHz bandwidth (Fig. 1b).
+//
+// Expected shape: at 900 MHz the LOS and the four first-order reflections
+// appear as distinct resolvable pulses; at 50 MHz they merge into one
+// overlapping blob (the narrowband multipath-fading regime).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/constants.hpp"
+#include "channel/path_loss.hpp"
+#include "geom/image_source.hpp"
+
+namespace {
+
+using namespace uwb;
+
+// Theoretical band-limited pulse: Gaussian with sigma ~ 1/bandwidth,
+// calibrated so 900 MHz matches the DW1000 channel-7 pulse width.
+double pulse(double t_s, double bandwidth_hz) {
+  const double sigma = 0.75e-9 * (900e6 / bandwidth_hz);
+  const double z = t_s / sigma;
+  return std::exp(-0.5 * z * z);
+}
+
+int count_resolvable_peaks(const std::vector<double>& y) {
+  int peaks = 0;
+  for (std::size_t i = 1; i + 1 < y.size(); ++i)
+    if (y[i] > y[i - 1] && y[i] >= y[i + 1] && y[i] > 0.05) ++peaks;
+  return peaks;
+}
+
+}  // namespace
+
+int main() {
+  using namespace uwb;
+  bench::heading("Fig. 1 — multipath reflections vs bandwidth");
+
+  // Fig. 1a: rectangular floor plan, TX lower-left area, RX right.
+  // Asymmetric TX/RX placement so all four first-order reflections have
+  // distinct path lengths, as in the paper's floor plan.
+  const geom::Room room = geom::Room::rectangular(10.0, 6.0, 5.0);
+  const geom::Vec2 tx{2.0, 1.2}, rx{7.5, 4.2};
+  const auto paths = geom::compute_paths(room, tx, rx, 1);
+
+  bench::subheading("propagation paths (LOS + first-order MPCs, Fig. 1a)");
+  std::printf("%-8s %-10s %-12s %-12s %s\n", "path", "order", "length [m]",
+              "delay [ns]", "rel. amplitude");
+  std::vector<std::pair<double, double>> arrivals;  // delay, amplitude
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto& p = paths[i];
+    const double delay_ns = p.length_m / k::c_air * 1e9;
+    const double amp = channel::loss_db_to_amplitude(
+        channel::log_distance_loss_db(p.length_m, 2.0, 0.0) +
+        p.reflection_loss_db);
+    arrivals.emplace_back(delay_ns, amp);
+    std::printf("%-8s %-10d %-12.3f %-12.3f %.4f\n",
+                i == 0 ? "LOS" : ("MPC" + std::to_string(i)).c_str(), p.order,
+                p.length_m, delay_ns, amp);
+  }
+
+  for (const double bw : {900e6, 50e6}) {
+    bench::subheading("received signal at " + std::to_string(static_cast<int>(bw / 1e6)) +
+                      " MHz bandwidth (Fig. 1b)");
+    std::vector<double> ts, ys;
+    const double t0 = arrivals.front().first - 5.0;
+    const double t1 = arrivals.back().first + 25.0;
+    for (double t = t0; t <= t1; t += 0.25) {
+      double y = 0.0;
+      for (const auto& [delay, amp] : arrivals)
+        y += amp * pulse((t - delay) * 1e-9, bw);
+      ts.push_back(t);
+      ys.push_back(y / arrivals.front().second);
+    }
+    bench::ascii_profile(ts, ys, "ns", 48);
+    std::printf("resolvable peaks: %d of %zu paths\n", count_resolvable_peaks(ys),
+                arrivals.size());
+  }
+
+  std::printf(
+      "\npaper check: 900 MHz resolves the individual MPCs, 50 MHz merges\n"
+      "them into overlapping pulses (and BLE at <5 MHz would be far worse).\n");
+  return 0;
+}

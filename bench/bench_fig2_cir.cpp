@@ -1,0 +1,69 @@
+// Reproduces paper Fig. 2: an estimated CIR from the DW1000 model in an
+// indoor environment, showing the LOS component (tau_0) and significant
+// multipath reflections (tau_1 ... tau_5).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "channel/channel_model.hpp"
+#include "common/constants.hpp"
+#include "dsp/peaks.hpp"
+#include "dw1000/cir.hpp"
+#include "dw1000/timestamping.hpp"
+
+int main() {
+  using namespace uwb;
+  bench::heading("Fig. 2 — estimated CIR with LOS and multipath components");
+
+  // A furnished office: rectangular room with a couple of scatterers; second
+  // order reflections enabled so the tail is realistic.
+  geom::Room room = geom::Room::rectangular(9.0, 6.5, 4.0);
+  room.add_obstacle({{{5.5, 1.0}, {5.5, 2.2}}, 8.0, "cabinet"});
+  channel::ChannelModelParams params;
+  params.max_reflection_order = 2;
+  channel::ChannelModel model(room, params);
+
+  Rng rng(2024);
+  const auto ch = model.realize({1.5, 3.0}, {7.5, 4.0}, rng);
+
+  // Place the realisation into the DW1000 accumulator as one frame arrival.
+  std::vector<dw::CirArrival> arrivals;
+  const double anchor_s = 64.0 * k::cir_ts_s;
+  for (const auto& tap : ch.taps) {
+    dw::CirArrival a;
+    a.time_into_window_s = anchor_s + (tap.delay_s - ch.los_delay_s);
+    a.amplitude = tap.amplitude;
+    arrivals.push_back(a);
+  }
+  dw::CirParams cir_params;
+  const auto cir = dw::synthesize_cir(arrivals, cir_params, rng);
+
+  bench::subheading("CIR magnitude (first 220 taps, T_s = 1.0016 ns)");
+  std::vector<double> xs, ys;
+  for (int i = 40; i < 220; ++i) {
+    xs.push_back(i * k::cir_ts_ns);
+    ys.push_back(std::abs(cir.taps[static_cast<std::size_t>(i)]));
+  }
+  bench::ascii_profile(xs, ys, "ns", 60);
+
+  const double fp = dw::detect_first_path(cir.taps);
+  std::printf("\nfirst path index: %.2f taps (LOS anchored at 64)\n", fp);
+
+  bench::subheading("significant components tau_0 .. tau_k");
+  const auto peaks = dsp::local_maxima(
+      cir.taps, 6.0 * dsp::noise_sigma_estimate(cir.taps), 3);
+  std::printf("%-6s %-12s %-14s %s\n", "k", "tap index", "delay [ns]",
+              "magnitude");
+  int k = 0;
+  for (const auto& p : peaks) {
+    if (k > 8) break;
+    std::printf("tau_%-2d %-12zu %-14.2f %.4f\n", k, p.index,
+                (static_cast<double>(p.index) - 64.0) * k::cir_ts_ns,
+                p.magnitude);
+    ++k;
+  }
+  std::printf(
+      "\npaper check: a dominant LOS peak followed by several resolvable\n"
+      "specular MPCs and a diffuse tail, as in the measured Fig. 2.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces paper Fig. 4: the response-detection walkthrough with three
+// responders at 3, 6, and 10 m in a hallway — (a) acquired CIR with fitted
+// templates, (b) matched filter output, (c) output after subtracting the
+// strongest response, (d) the three detected responses.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/constants.hpp"
+#include "dsp/signal.hpp"
+
+int main() {
+  using namespace uwb;
+  bench::heading("Fig. 4 — response detection with 3 responders (3/6/10 m)");
+
+  ranging::ScenarioConfig cfg = bench::hallway_scenario(404);
+  cfg.responders = {{0, bench::hallway_at(3.0)},
+                    {1, bench::hallway_at(6.0)},
+                    {2, bench::hallway_at(10.0)}};
+  ranging::ConcurrentRangingScenario scenario(cfg);
+  const auto out = scenario.run_round();
+  if (!out.payload_decoded) {
+    std::printf("round failed (payload not decoded)\n");
+    return 1;
+  }
+
+  // (a) the acquired CIR, aligned with d_TWR as in the paper: tap index ->
+  // distance relative to the decoded responder.
+  bench::subheading("(a) normalised CIR (x-axis: distance, aligned to d_TWR)");
+  const double anchor = out.cir.first_path_index;
+  std::vector<double> xs, ys;
+  double peak = 0.0;
+  for (const auto& tap : out.cir.taps) peak = std::max(peak, std::abs(tap));
+  for (int i = 40; i < 160; ++i) {
+    const double tau_rel = (i - anchor) * k::cir_ts_s;
+    xs.push_back(out.d_twr_m + k::c_air * tau_rel / 2.0);
+    ys.push_back(std::abs(out.cir.taps[static_cast<std::size_t>(i)]) / peak);
+  }
+  bench::ascii_profile(xs, ys, "m", 48);
+
+  // (b)/(c): matched filter outputs per iteration.
+  const auto trace = scenario.detector().detect_with_trace(
+      out.cir.taps, out.cir.ts_s, 3);
+  const int up = scenario.detector().config().upsample_factor;
+  for (std::size_t it = 0; it < std::min<std::size_t>(2, trace.mf_outputs.size());
+       ++it) {
+    bench::subheading(it == 0 ? "(b) matched filter output"
+                              : "(c) after subtracting strongest response");
+    const auto& y = trace.mf_outputs[it];
+    std::vector<double> mx, my;
+    double ypeak = 0.0;
+    for (const auto& v : y) ypeak = std::max(ypeak, std::abs(v));
+    for (std::size_t i = 40 * static_cast<std::size_t>(up);
+         i < 160 * static_cast<std::size_t>(up);
+         i += static_cast<std::size_t>(up) / 2) {
+      const double tau_rel = (static_cast<double>(i) / up - anchor) * k::cir_ts_s;
+      mx.push_back(out.d_twr_m + k::c_air * tau_rel / 2.0);
+      my.push_back(std::abs(y[i]) / ypeak);
+    }
+    bench::ascii_profile(mx, my, "m", 48);
+  }
+
+  // (d) the detected responses as distances.
+  bench::subheading("(d) detected responses (paper: 3, 6, 10 m)");
+  std::printf("%-10s %-14s %-14s %-12s %s\n", "response", "est. dist [m]",
+              "true dist [m]", "error [m]", "amplitude");
+  const double truths[] = {3.0, 6.0, 10.0};
+  for (std::size_t i = 0; i < out.estimates.size(); ++i) {
+    const auto& est = out.estimates[i];
+    const double truth = i < 3 ? truths[i] : -1.0;
+    std::printf("%-10zu %-14.3f %-14.1f %-12.3f %.4f\n", i + 1, est.distance_m,
+                truth, est.distance_m - truth, est.amplitude);
+  }
+  std::printf("d_TWR (Eq. 2, decoded responder): %.3f m\n", out.d_twr_m);
+  std::printf(
+      "\npaper check: three peaks extracted in ascending order; responder 1\n"
+      "comes from SS-TWR, responders 2-3 from Eq. 4 on the CIR peak delays\n"
+      "(non-decoded responses carry the +-8 ns delayed-TX truncation).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces paper Fig. 5: the transmitted pulse shape s_i(t) for different
+// TC_PGDELAY register values (0x93 default, 0xC8, 0xE6, 0xF0), scaled to
+// unit energy as in the paper, plus the properties the Sect. V classifier
+// relies on (monotone widths, sub-unity cross-correlations).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dsp/signal.hpp"
+#include "dw1000/pulse.hpp"
+
+int main() {
+  using namespace uwb;
+  bench::heading("Fig. 5 — pulse shapes per TC_PGDELAY register");
+
+  const std::vector<std::pair<const char*, std::uint8_t>> shapes = {
+      {"s1 (0x93, default)", 0x93},
+      {"s2 (0xC8)", 0xC8},
+      {"s3 (0xE6)", 0xE6},
+      {"s4 (0xF0)", 0xF0},
+  };
+
+  bench::subheading("shape properties");
+  std::printf("%-22s %-14s %-16s %s\n", "shape", "width factor",
+              "bandwidth [MHz]", "duration T_p [ns]");
+  for (const auto& [name, reg] : shapes) {
+    std::printf("%-22s %-14.3f %-16.1f %.2f\n", name,
+                dw::pulse_width_factor(reg), dw::pulse_bandwidth_hz(reg) / 1e6,
+                dw::pulse_duration_s(reg) * 1e9);
+  }
+
+  for (const auto& [name, reg] : shapes) {
+    bench::subheading(std::string(name) + " (unit energy, 0.1 ns grid)");
+    const double ts = 0.1e-9;
+    const CVec tmpl = dsp::normalize_energy(dw::sample_pulse_template(reg, ts));
+    const auto centre = static_cast<double>(dw::template_centre_index(reg, ts));
+    std::vector<double> xs, ys;
+    for (std::size_t i = 0; i < tmpl.size(); i += 2) {
+      xs.push_back((static_cast<double>(i) - centre) * 0.1);
+      // Plot |s| so negative ring lobes remain visible in the bar plot.
+      ys.push_back(std::abs(tmpl[i]));
+    }
+    bench::ascii_profile(xs, ys, "ns", 36);
+  }
+
+  bench::subheading("pairwise max cross-correlation (unit-energy templates)");
+  const double ts = 0.125e-9;
+  std::vector<CVec> unit;
+  for (const auto& [name, reg] : shapes)
+    unit.push_back(dsp::normalize_energy(dw::sample_pulse_template(reg, ts)));
+  std::printf("%8s", "");
+  for (const auto& [name, reg] : shapes) std::printf("  0x%02X ", reg);
+  std::printf("\n");
+  for (std::size_t i = 0; i < unit.size(); ++i) {
+    std::printf("  0x%02X  ", shapes[i].second);
+    for (std::size_t j = 0; j < unit.size(); ++j) {
+      double best = 0.0;
+      const auto na = static_cast<std::ptrdiff_t>(unit[i].size());
+      const auto nb = static_cast<std::ptrdiff_t>(unit[j].size());
+      for (std::ptrdiff_t lag = -nb + 1; lag < na; ++lag) {
+        Complex acc{};
+        for (std::ptrdiff_t m = std::max<std::ptrdiff_t>(0, lag);
+             m < std::min(na, lag + nb); ++m)
+          acc += unit[i][static_cast<std::size_t>(m)] *
+                 std::conj(unit[j][static_cast<std::size_t>(m - lag)]);
+        best = std::max(best, std::abs(acc));
+      }
+      std::printf("%6.3f ", best);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\npaper check: the default 0x93 is the narrowest (900 MHz); larger\n"
+      "register values widen the pulse (lower bandwidth) and alter the ring\n"
+      "structure, making the %d available shapes distinguishable by matched\n"
+      "filtering.\n",
+      uwb::k::num_pulse_shapes);
+  return 0;
+}

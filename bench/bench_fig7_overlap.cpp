@@ -1,0 +1,104 @@
+// Reproduces paper Fig. 7 / Sect. VI: detection of overlapping responses.
+// Two responders at the same distance d1 = d2 = 4 m; 2000 rounds in the
+// paper (default here: 500). Only trials whose responses actually overlap
+// are evaluated (the +-8 ns TX truncation spreads them otherwise), exactly
+// as the paper does. Both algorithms run on identical CIRs.
+//
+// Paper result: search-and-subtract 92.6% vs threshold-based 48%.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/constants.hpp"
+#include "ranging/threshold_detector.hpp"
+
+namespace {
+
+using namespace uwb;
+
+// True peak positions of both responses in CIR-window time.
+std::vector<double> true_taus(const ranging::RoundOutcome& out) {
+  std::vector<double> taus;
+  const double t0 = out.truths.front().resp_arrival.seconds();
+  for (const auto& t : out.truths)
+    taus.push_back(out.cir.first_path_index * k::cir_ts_s +
+                   (t.resp_arrival.seconds() - t0));
+  return taus;
+}
+
+// Both true responses matched by distinct detections within tolerance.
+bool both_detected(const std::vector<ranging::DetectedResponse>& dets,
+                   const std::vector<double>& truths, double tol_s) {
+  if (dets.size() < truths.size()) return false;
+  std::vector<bool> used(dets.size(), false);
+  for (const double truth : truths) {
+    double best = tol_s;
+    int best_i = -1;
+    for (std::size_t i = 0; i < dets.size(); ++i) {
+      if (used[i]) continue;
+      const double err = std::abs(dets[i].tau_s - truth);
+      if (err < best) {
+        best = err;
+        best_i = static_cast<int>(i);
+      }
+    }
+    if (best_i < 0) return false;
+    used[static_cast<std::size_t>(best_i)] = true;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace uwb;
+  const int trials = bench::trials_arg(argc, argv, 500);
+  bench::heading("Fig. 7 / Sect. VI — overlapping responses (d1 = d2 = 4 m)");
+  std::printf("(%d rounds; paper used 2000)\n", trials);
+
+  ranging::ScenarioConfig cfg = bench::hallway_scenario(707);
+  cfg.responders = {{0, bench::hallway_at(4.0)}, {1, {2.0 + 4.0, 1.001}}};
+  ranging::ConcurrentRangingScenario scenario(cfg);
+  const ranging::ThresholdDetector threshold{cfg.ranging.detector};
+
+  // "Actually overlapping" (paper Sect. VI): the two pulse extents overlap.
+  // The +-8 ns TX truncation jitter spreads the rest further apart; those
+  // trials are excluded exactly as in the paper.
+  const double overlap_window_s = 6.0e-9;
+  const double tol_s = 2.0e-9;  // a detection counts if this close to truth
+
+  int overlapping = 0, ss_ok = 0, th_ok = 0, completed = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto out = scenario.run_round();
+    if (!out.completed || out.truths.size() != 2) continue;
+    ++completed;
+    const double offset = std::abs((out.truths[1].resp_arrival -
+                                    out.truths[0].resp_arrival)
+                                       .seconds());
+    if (offset > overlap_window_s) continue;  // paper keeps overlapping only
+    ++overlapping;
+    const auto truths = true_taus(out);
+    if (both_detected(out.detections, truths, tol_s)) ++ss_ok;
+    if (both_detected(threshold.detect(out.cir.taps, out.cir.ts_s, 2), truths,
+                      tol_s))
+      ++th_ok;
+  }
+
+  std::printf("\ncompleted rounds            : %d\n", completed);
+  std::printf("actually overlapping rounds : %d (|offset| < %.1f ns)\n",
+              overlapping, overlap_window_s * 1e9);
+  if (overlapping == 0) {
+    std::printf("no overlapping trials — increase --trials\n");
+    return 1;
+  }
+  std::printf("\n%-28s %-12s %s\n", "algorithm", "success", "paper");
+  std::printf("%-28s %6.1f %%     92.6 %%\n", "search and subtract (ours)",
+              100.0 * ss_ok / overlapping);
+  std::printf("%-28s %6.1f %%     48.0 %%\n", "threshold-based (Falsi et al.)",
+              100.0 * th_ok / overlapping);
+  std::printf(
+      "\npaper check: search-and-subtract resolves both overlapping\n"
+      "responses in the large majority of trials, the threshold baseline in\n"
+      "roughly half or fewer — the crossing window swallows the second pulse.\n");
+  return 0;
+}

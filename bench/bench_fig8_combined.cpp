@@ -1,0 +1,92 @@
+// Reproduces paper Fig. 8: combining response position modulation with pulse
+// shaping. Nine responders share one concurrent round using N_RPM = 4 slots
+// and N_PS = 3 pulse shapes (capacity N_max = 12).
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "dsp/stats.hpp"
+#include "ranging/capacity.hpp"
+
+int main(int argc, char** argv) {
+  using namespace uwb;
+  const int trials = bench::trials_arg(argc, argv, 100);
+  bench::heading("Fig. 8 — RPM x pulse shaping, 9 users in one round");
+
+  ranging::ScenarioConfig cfg = bench::hallway_scenario(808);
+  cfg.room = geom::Room::rectangular(16.0, 10.0, 10.0);
+  cfg.initiator_position = {1.0, 5.0};
+  cfg.ranging.num_slots = 4;
+  cfg.ranging.slot_spacing_s = 150e-9;
+  cfg.ranging.shape_registers = {0x93, 0xC8, 0xE6};
+  cfg.responders = {
+      {0, {4.0, 5.0}},  {1, {6.5, 3.0}},  {2, {9.0, 7.0}},
+      {3, {11.0, 4.0}}, {4, {5.5, 7.5}},  {5, {8.0, 2.5}},
+      {6, {12.5, 6.5}}, {7, {14.0, 5.0}}, {8, {7.0, 5.5}},
+  };
+
+  bench::subheading("slot x shape assignment (IDs 0-8 of capacity 12)");
+  std::printf("%-6s %-6s %-10s %-12s %s\n", "ID", "slot", "shape",
+              "delta_i [ns]", "true dist [m]");
+  for (const auto& spec : cfg.responders) {
+    const auto a = ranging::assign_responder(spec.id, cfg.ranging);
+    std::printf("%-6d %-6d s%-9d %-12.0f %.2f\n", spec.id, a.slot,
+                a.shape_index + 1, a.extra_delay_s * 1e9,
+                geom::distance(cfg.initiator_position, spec.position));
+  }
+
+  ranging::ConcurrentRangingScenario scenario(cfg);
+
+  std::map<int, RVec> errors_by_id;
+  int decoded_rounds = 0, id_correct = 0, id_total = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto out = scenario.run_round();
+    if (!out.payload_decoded) continue;
+    ++decoded_rounds;
+    for (const auto& est : out.estimates) {
+      if (est.responder_id < 0) continue;
+      ++id_total;
+      bool known = false;
+      double truth = 0.0;
+      for (const auto& spec : cfg.responders)
+        if (spec.id == est.responder_id) {
+          truth = scenario.true_distance(spec.id);
+          known = true;
+        }
+      if (!known) continue;
+      if (std::abs(est.distance_m - truth) < 1.5) {
+        ++id_correct;
+        errors_by_id[est.responder_id].push_back(est.distance_m - truth);
+      }
+    }
+  }
+
+  bench::subheading("per-responder results over " + std::to_string(trials) +
+                    " rounds");
+  std::printf("%-6s %-14s %-14s %-12s %s\n", "ID", "true dist [m]",
+              "mean est [m]", "bias [m]", "rounds decoded");
+  for (const auto& spec : cfg.responders) {
+    const auto it = errors_by_id.find(spec.id);
+    const double truth = scenario.true_distance(spec.id);
+    if (it == errors_by_id.end() || it->second.empty()) {
+      std::printf("%-6d %-14.2f (never decoded)\n", spec.id, truth);
+      continue;
+    }
+    const double bias = dsp::mean(it->second);
+    std::printf("%-6d %-14.2f %-14.2f %-12.3f %zu\n", spec.id, truth,
+                truth + bias, bias, it->second.size());
+  }
+
+  std::printf("\nrounds with decoded payload : %d / %d\n", decoded_rounds, trials);
+  if (id_total > 0)
+    std::printf("identity decode accuracy    : %.1f %% (%d / %d detections)\n",
+                100.0 * id_correct / id_total, id_correct, id_total);
+  const dw::PhyConfig phy;
+  std::printf("capacity N_max = N_RPM * N_PS = %d (9 of 12 used, as in Fig. 8)\n",
+              ranging::max_concurrent_responders(4, 3));
+  std::printf(
+      "\npaper check: one TX + one RX at the initiator yields identified\n"
+      "distance estimates to all nine responders simultaneously.\n");
+  return 0;
+}

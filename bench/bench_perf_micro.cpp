@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark): run-time feasibility of the Sect. IV
+// detection pipeline — the paper requires the initiator to process the CIR
+// *at run time*, so the detector must be fast enough for embedded use.
+#include <benchmark/benchmark.h>
+
+#include "common/constants.hpp"
+#include "common/random.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/matched_filter.hpp"
+#include "dsp/resample.hpp"
+#include "dw1000/cir.hpp"
+#include "dw1000/pulse.hpp"
+#include "ranging/search_subtract.hpp"
+#include "ranging/threshold_detector.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace uwb;
+
+CVec random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  CVec x(n);
+  for (auto& v : x) v = rng.complex_normal(1.0);
+  return x;
+}
+
+dw::CirEstimate test_cir(int responses, std::uint64_t seed) {
+  std::vector<dw::CirArrival> arrivals;
+  for (int i = 0; i < responses; ++i) {
+    dw::CirArrival a;
+    a.time_into_window_s = (80.0 + 40.0 * i) * k::cir_ts_s;
+    a.amplitude = {0.4 - 0.05 * i, 0.0};
+    arrivals.push_back(a);
+  }
+  dw::CirParams params;
+  Rng rng(seed);
+  return dw::synthesize_cir(arrivals, params, rng);
+}
+
+void BM_FftPow2_1024(benchmark::State& state) {
+  CVec x = random_signal(1024, 1);
+  for (auto _ : state) {
+    CVec y = x;
+    dsp::fft_pow2_inplace(y, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_FftPow2_1024);
+
+void BM_FftBluestein_1016(benchmark::State& state) {
+  const CVec x = random_signal(k::cir_len_prf64, 2);
+  for (auto _ : state) {
+    CVec y = dsp::fft(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_FftBluestein_1016);
+
+void BM_UpsampleCirBy8(benchmark::State& state) {
+  const CVec x = random_signal(k::cir_len_prf64, 3);
+  for (auto _ : state) {
+    CVec y = dsp::upsample_fft(x, 8);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_UpsampleCirBy8);
+
+void BM_MatchedFilterUpsampledCir(benchmark::State& state) {
+  const CVec r = random_signal(8192, 4);
+  dsp::MatchedFilter mf(dw::sample_pulse_template(0x93, k::cir_ts_s / 8.0));
+  for (auto _ : state) {
+    CVec y = mf.apply(r);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MatchedFilterUpsampledCir);
+
+void BM_SearchSubtract_SingleTemplate(benchmark::State& state) {
+  const auto cir = test_cir(static_cast<int>(state.range(0)), 5);
+  ranging::SearchSubtractDetector det{ranging::DetectorConfig{}};
+  for (auto _ : state) {
+    auto found = det.detect(cir.taps, cir.ts_s, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(found.data());
+  }
+}
+BENCHMARK(BM_SearchSubtract_SingleTemplate)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_SearchSubtract_ThreeTemplateBank(benchmark::State& state) {
+  const auto cir = test_cir(3, 6);
+  ranging::DetectorConfig cfg;
+  cfg.shape_registers = {0x93, 0xC8, 0xE6};
+  ranging::SearchSubtractDetector det{cfg};
+  for (auto _ : state) {
+    auto found = det.detect(cir.taps, cir.ts_s, 3);
+    benchmark::DoNotOptimize(found.data());
+  }
+}
+BENCHMARK(BM_SearchSubtract_ThreeTemplateBank);
+
+void BM_ThresholdDetector(benchmark::State& state) {
+  const auto cir = test_cir(3, 7);
+  ranging::ThresholdDetector det{ranging::DetectorConfig{}};
+  for (auto _ : state) {
+    auto found = det.detect(cir.taps, cir.ts_s, 3);
+    benchmark::DoNotOptimize(found.data());
+  }
+}
+BENCHMARK(BM_ThresholdDetector);
+
+void BM_FullConcurrentRound(benchmark::State& state) {
+  ranging::ScenarioConfig cfg = bench::hallway_scenario(8);
+  cfg.responders = {{0, bench::hallway_at(3.0)},
+                    {1, bench::hallway_at(6.0)},
+                    {2, bench::hallway_at(10.0)}};
+  ranging::ConcurrentRangingScenario scenario(cfg);
+  for (auto _ : state) {
+    auto out = scenario.run_round();
+    benchmark::DoNotOptimize(&out);
+  }
+}
+BENCHMARK(BM_FullConcurrentRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Reproduces the paper's Sect. V in-text experiment: SS-TWR precision with
+// different pulse shapes. Two nodes 3 m apart in an office; 5000 ranging
+// operations per shape in the paper (default here: 1000).
+//
+// Paper result: sigma_1 = 0.0228 m (s1), sigma_2 = 0.0221 m (s2),
+// sigma_3 = 0.0283 m (s3) — i.e. pulse shaping has negligible impact on
+// ranging precision.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dsp/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace uwb;
+  const int trials = bench::trials_arg(argc, argv, 1000);
+  bench::heading("Sect. V — SS-TWR precision per pulse shape (3 m, office)");
+  std::printf("(%d rounds per shape; paper used 5000)\n", trials);
+
+  struct Row {
+    const char* name;
+    std::uint8_t reg;
+    double paper_sigma;
+  };
+  const Row rows[] = {{"s1 (0x93)", 0x93, 0.0228},
+                      {"s2 (0xC8)", 0xC8, 0.0221},
+                      {"s3 (0xE6)", 0xE6, 0.0283}};
+
+  std::printf("\n%-12s %-14s %-14s %-14s %s\n", "shape", "mean err [m]",
+              "sigma [m]", "paper sigma", "rounds");
+  for (const Row& row : rows) {
+    ranging::ScenarioConfig cfg = bench::office_scenario(
+        500 + static_cast<std::uint64_t>(row.reg));
+    // Both link directions use the configured shape, as in the paper.
+    cfg.phy.tc_pgdelay = row.reg;
+    cfg.ranging.shape_registers = {row.reg};
+    cfg.responders = {{0, {5.0, 4.0}}};  // 3 m from the initiator at (2,4)
+    ranging::ConcurrentRangingScenario scenario(cfg);
+
+    RVec errors;
+    for (int t = 0; t < trials; ++t) {
+      const auto out = scenario.run_round();
+      if (!out.payload_decoded) continue;
+      errors.push_back(out.d_twr_m - 3.0);
+    }
+    if (errors.empty()) {
+      std::printf("%-12s no completed rounds\n", row.name);
+      continue;
+    }
+    std::printf("%-12s %-14.4f %-14.4f %-14.4f %zu\n", row.name,
+                dsp::mean(errors), dsp::stddev(errors), row.paper_sigma,
+                errors.size());
+  }
+
+  std::printf(
+      "\npaper check: all three shapes range with sigma in the ~2-3 cm band;\n"
+      "the wider pulses degrade precision only marginally, so TC_PGDELAY can\n"
+      "safely encode responder identities.\n");
+  return 0;
+}

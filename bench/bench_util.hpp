@@ -1,0 +1,88 @@
+// Shared helpers for the experiment harnesses: argument handling, table
+// printing, ASCII series plotting, and canonical scenario builders.
+//
+// Every bench binary regenerates one table or figure of the paper. Binaries
+// accept `--trials N` to scale the Monte-Carlo count (defaults keep the full
+// suite to a couple of minutes; paper-scale counts are noted per bench).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ranging/session.hpp"
+
+namespace uwb::bench {
+
+/// Parse `--trials N` (or use the bench's default).
+inline int trials_arg(int argc, char** argv, int default_trials) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trials") == 0) {
+      const int n = std::atoi(argv[i + 1]);
+      if (n > 0) return n;
+    }
+  }
+  return default_trials;
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// Print a horizontal ASCII profile of a magnitude series: one row per
+/// (downsampled) point with a proportional bar, for eyeballing CIR shapes in
+/// a terminal.
+inline void ascii_profile(const std::vector<double>& xs,
+                          const std::vector<double>& ys,
+                          const char* x_label, int max_rows = 40,
+                          int bar_width = 60) {
+  const std::size_t n = ys.size();
+  if (n == 0) return;
+  const double peak = *std::max_element(ys.begin(), ys.end());
+  const std::size_t stride = std::max<std::size_t>(1, n / static_cast<std::size_t>(max_rows));
+  for (std::size_t i = 0; i < n; i += stride) {
+    const int bar =
+        peak > 0 ? static_cast<int>(ys[i] / peak * bar_width + 0.5) : 0;
+    std::printf("%10.2f %-8s |%s\n", xs[i], x_label,
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+}
+
+/// Hallway scenario matching the paper's measurement environment: a 2.4 m
+/// corridor. Nodes sit slightly off the centre line so the two side-wall
+/// reflections have distinct path lengths (perfectly centred nodes would
+/// make them coincide and coherently sum). The 15 dB effective reflection
+/// loss accounts for the 2-D image-source model concentrating specular
+/// energy that in reality spreads in elevation and over antenna patterns
+/// (EXPERIMENTS.md discusses this calibration).
+inline ranging::ScenarioConfig hallway_scenario(std::uint64_t seed) {
+  ranging::ScenarioConfig cfg;
+  cfg.room = geom::Room::hallway(40.0, 2.4, /*reflection_loss_db=*/15.0);
+  cfg.initiator_position = {2.0, 1.0};
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Place a responder along the hallway `distance_m` from the initiator of
+/// hallway_scenario().
+inline geom::Vec2 hallway_at(double distance_m) {
+  return {2.0 + distance_m, 1.0};
+}
+
+/// Office scenario (rectangular room) for the localisation/NLOS studies.
+inline ranging::ScenarioConfig office_scenario(std::uint64_t seed) {
+  ranging::ScenarioConfig cfg;
+  cfg.room = geom::Room::rectangular(12.0, 8.0, 10.0);
+  cfg.initiator_position = {2.0, 4.0};
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace uwb::bench

@@ -1,0 +1,55 @@
+// Quickstart: one concurrent-ranging round with three responders.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// An initiator broadcasts a single INIT; all three responders answer
+// simultaneously 290 us later; the initiator's superposed CIR yields the
+// distance to every responder from ONE transmit + ONE receive operation.
+#include <cstdio>
+
+#include "ranging/session.hpp"
+
+int main() {
+  using namespace uwb;
+
+  // 1. Describe the environment: a 40 m hallway, nodes slightly off-centre.
+  ranging::ScenarioConfig cfg;
+  cfg.room = geom::Room::hallway(40.0, 2.4, /*reflection_loss_db=*/15.0);
+  cfg.initiator_position = {2.0, 1.0};
+
+  // 2. Place the responders (IDs select RPM slots / pulse shapes; with the
+  //    default config all respond in the same slot with the same shape).
+  cfg.responders = {
+      {0, {5.0, 1.0}},   // 3 m away
+      {1, {8.0, 1.0}},   // 6 m away
+      {2, {12.0, 1.0}},  // 10 m away
+  };
+  cfg.seed = 42;
+
+  // 3. Run one round.
+  ranging::ConcurrentRangingScenario scenario(cfg);
+  const ranging::RoundOutcome out = scenario.run_round();
+
+  if (!out.payload_decoded) {
+    std::printf("round failed: no decodable response\n");
+    return 1;
+  }
+
+  std::printf("concurrent ranging round complete\n");
+  std::printf("  frames superposed in one reception : %d\n", out.frames_in_batch);
+  std::printf("  SS-TWR distance to decoded responder: %.3f m\n\n", out.d_twr_m);
+
+  std::printf("  %-10s %-14s %s\n", "response", "distance [m]", "true [m]");
+  for (std::size_t i = 0; i < out.estimates.size(); ++i) {
+    std::printf("  %-10zu %-14.3f %.1f\n", i + 1, out.estimates[i].distance_m,
+                scenario.true_distance(static_cast<int>(i)));
+  }
+
+  std::printf(
+      "\nmessage cost: 1 TX + 1 RX at the initiator (classical SS-TWR would\n"
+      "need %zu transmissions and %zu receptions).\n",
+      cfg.responders.size(), cfg.responders.size());
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "channel/channel_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/path_loss.hpp"
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+
+namespace uwb::channel {
+
+ChannelModel::ChannelModel(geom::Room room, ChannelModelParams params)
+    : room_(std::move(room)), params_(params) {
+  UWB_EXPECTS(params.path_loss_exponent >= 0.0);
+  UWB_EXPECTS(params.max_reflection_order >= 0 && params.max_reflection_order <= 2);
+  UWB_EXPECTS(params.specular_fading_db >= 0.0);
+}
+
+ChannelRealization ChannelModel::realize(geom::Vec2 tx, geom::Vec2 rx,
+                                         Rng& rng) const {
+  UWB_EXPECTS(geom::distance(tx, rx) > 0.0);
+  ChannelRealization out;
+
+  const auto specular =
+      geom::compute_paths(room_, tx, rx, params_.max_reflection_order);
+  UWB_ENSURES(!specular.empty());
+  out.los_delay_s = specular.front().length_m / k::c_air;
+
+  double los_amp = 0.0;
+  for (const geom::SpecularPath& p : specular) {
+    const double loss_db =
+        log_distance_loss_db(p.length_m, params_.path_loss_exponent,
+                             params_.reference_loss_db) +
+        p.reflection_loss_db + p.obstruction_loss_db +
+        rng.normal(0.0, params_.specular_fading_db);
+    Tap tap;
+    tap.delay_s = p.length_m / k::c_air;
+    tap.amplitude = rng.random_phase() * loss_db_to_amplitude(loss_db);
+    tap.deterministic = true;
+    tap.order = p.order;
+    if (p.order == 0) los_amp = std::abs(tap.amplitude);
+    out.taps.push_back(tap);
+  }
+
+  if (params_.enable_diffuse) {
+    // Diffuse power is defined relative to the (unobstructed) direct path.
+    const double ref_amp =
+        los_amp > 0.0
+            ? los_amp
+            : loss_db_to_amplitude(log_distance_loss_db(
+                  specular.front().length_m, params_.path_loss_exponent,
+                  params_.reference_loss_db));
+    for (const DiffuseRay& ray : draw_diffuse_tail(params_.diffuse, rng)) {
+      Tap tap;
+      tap.delay_s = out.los_delay_s + ray.excess_delay_s;
+      tap.amplitude = ray.amplitude * ref_amp;
+      tap.deterministic = false;
+      out.taps.push_back(tap);
+    }
+  }
+
+  std::sort(out.taps.begin(), out.taps.end(),
+            [](const Tap& a, const Tap& b) { return a.delay_s < b.delay_s; });
+  return out;
+}
+
+}  // namespace uwb::channel

@@ -1,0 +1,73 @@
+// Full channel realisation: Eq. 1 of the paper,
+//   h(t) = sum_k alpha_k delta(t - tau_k) + nu(t)
+// with deterministic specular components alpha_k from floor-plan geometry
+// (image-source method) and the diffuse term nu(t) from a Saleh-Valenzuela
+// tail attached to the first arrival.
+#pragma once
+
+#include <vector>
+
+#include "channel/saleh_valenzuela.hpp"
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "geom/image_source.hpp"
+#include "geom/room.hpp"
+
+namespace uwb::channel {
+
+/// One resolvable propagation component.
+struct Tap {
+  /// Absolute propagation delay TX -> RX [s].
+  double delay_s = 0.0;
+  /// Complex amplitude (relative to unit TX amplitude at the 1 m reference).
+  Complex amplitude;
+  /// True for deterministic (specular/LOS) components.
+  bool deterministic = false;
+  /// Bounce order (0 = LOS) for deterministic taps.
+  int order = 0;
+};
+
+/// A drawn channel between one TX and one RX.
+struct ChannelRealization {
+  /// Taps sorted by increasing delay. The first deterministic tap is the
+  /// direct path (possibly attenuated by obstacles).
+  std::vector<Tap> taps;
+  /// Propagation delay of the geometric direct path [s] (even if blocked).
+  double los_delay_s = 0.0;
+};
+
+/// Channel model configuration.
+struct ChannelModelParams {
+  /// Log-distance path-loss exponent (indoor LOS).
+  double path_loss_exponent = 1.8;
+  /// Path loss at the 1 m reference distance [dB]. With unit TX amplitude
+  /// the LOS amplitude at 1 m is 10^(-ref/20).
+  double reference_loss_db = 0.0;
+  /// Per-path complex amplitude jitter (std-dev of a multiplicative
+  /// lognormal-ish fluctuation in dB) modelling small-scale variation of
+  /// specular components between rounds.
+  double specular_fading_db = 1.0;
+  /// Maximum image-source reflection order (0 disables specular MPCs).
+  int max_reflection_order = 1;
+  /// Include the Saleh-Valenzuela diffuse tail.
+  bool enable_diffuse = true;
+  SalehValenzuelaParams diffuse;
+};
+
+/// Generates channel realisations for node pairs placed in a Room.
+class ChannelModel {
+ public:
+  ChannelModel(geom::Room room, ChannelModelParams params);
+
+  /// Draw a realisation for a TX at `tx` and an RX at `rx` [m].
+  ChannelRealization realize(geom::Vec2 tx, geom::Vec2 rx, Rng& rng) const;
+
+  const geom::Room& room() const { return room_; }
+  const ChannelModelParams& params() const { return params_; }
+
+ private:
+  geom::Room room_;
+  ChannelModelParams params_;
+};
+
+}  // namespace uwb::channel

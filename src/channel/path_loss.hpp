@@ -1,0 +1,23 @@
+// Path-loss models.
+//
+// The paper (open challenge IV) stresses that the idealised Friis equation
+// does not hold in typical UWB operational areas; we provide both Friis and
+// the log-distance model actually used by the channel simulator, so that the
+// amplitude-independence ablation can contrast them.
+#pragma once
+
+namespace uwb::channel {
+
+/// Free-space (Friis) path loss [dB] at distance d for carrier frequency f.
+/// d in metres, f in Hz. d must be > 0.
+double friis_loss_db(double distance_m, double frequency_hz);
+
+/// Log-distance path loss [dB]: PL(d) = PL(d0) + 10 n log10(d/d0).
+/// Typical indoor LOS UWB: n ~ 1.6-1.8; NLOS: n ~ 3-4.
+double log_distance_loss_db(double distance_m, double exponent,
+                            double reference_loss_db, double reference_m = 1.0);
+
+/// Linear *amplitude* gain corresponding to a power loss in dB.
+double loss_db_to_amplitude(double loss_db);
+
+}  // namespace uwb::channel

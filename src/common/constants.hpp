@@ -1,0 +1,66 @@
+// Physical constants and DW1000 datasheet constants used across modules.
+//
+// DW1000 values follow the Decawave DW1000 User Manual v2.10 and the paper:
+//  - device timestamps tick at 499.2 MHz * 128 = 63.8976 GHz (~15.65 ps),
+//  - the CIR accumulator at PRF 64 MHz holds 1016 complex taps spaced at
+//    half a chip, T_s = 1/(2 * 499.2 MHz) = 1.0016 ns,
+//  - delayed transmission ignores the low 9 bits of the 40-bit target time,
+//    giving ~8.013 ns transmit granularity.
+#pragma once
+
+#include <cstdint>
+
+namespace uwb::k {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double c_vacuum = 299'792'458.0;
+
+/// Propagation speed in air used by DW1000-based ranging [m/s].
+inline constexpr double c_air = 299'702'547.0;
+
+/// DW1000 system clock driving timestamps: 128 * 499.2 MHz [Hz].
+inline constexpr double dw_tick_hz = 128.0 * 499.2e6;  // 63.8976 GHz
+
+/// One device timestamp tick [s] (~15.65 ps).
+inline constexpr double dw_tick_s = 1.0 / dw_tick_hz;
+
+/// One device timestamp tick [ps].
+inline constexpr double dw_tick_ps = 1e12 / dw_tick_hz;
+
+/// Device timestamps are 40-bit counters.
+inline constexpr std::uint64_t dw_timestamp_mask = (std::uint64_t{1} << 40) - 1;
+
+/// Delayed TX ignores the low 9 bits of the 40-bit target time.
+inline constexpr int dw_delayed_tx_ignored_bits = 9;
+
+/// CIR accumulator length at PRF 64 MHz [taps].
+inline constexpr int cir_len_prf64 = 1016;
+
+/// CIR accumulator length at PRF 16 MHz [taps].
+inline constexpr int cir_len_prf16 = 992;
+
+/// CIR tap spacing: half a 499.2 MHz chip [s] (paper: T_s = 1.0016 ns).
+inline constexpr double cir_ts_s = 1.0 / (2.0 * 499.2e6);
+
+/// CIR tap spacing [ns].
+inline constexpr double cir_ts_ns = cir_ts_s * 1e9;
+
+/// DW1000 current draw in receive mode [A] (paper Sect. I).
+inline constexpr double rx_current_a = 0.155;
+
+/// DW1000 current draw in transmit mode [A] (paper Sect. I).
+inline constexpr double tx_current_a = 0.090;
+
+/// Typical supply voltage [V].
+inline constexpr double supply_v = 3.3;
+
+/// Default TC_PGDELAY register value for channel 7 / 900 MHz bandwidth.
+inline constexpr std::uint8_t tc_pgdelay_default = 0x93;
+
+/// Highest TC_PGDELAY register value (8-bit register).
+inline constexpr std::uint8_t tc_pgdelay_max = 0xFF;
+
+/// Number of distinct pulse shapes available (paper Sect. V: "up to 108").
+inline constexpr int num_pulse_shapes = tc_pgdelay_max - tc_pgdelay_default + 1;
+
+}  // namespace uwb::k

@@ -1,0 +1,35 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+#include "common/expects.hpp"
+
+namespace uwb {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  UWB_EXPECTS(!columns.empty());
+  UWB_EXPECTS(columns_ == 0);  // header written once, before any rows
+  columns_ = columns.size();
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  UWB_EXPECTS(columns_ > 0);
+  UWB_EXPECTS(values.size() == columns_);
+  char buf[32];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    std::snprintf(buf, sizeof(buf), "%.9g", values[i]);
+    out_ << buf;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace uwb

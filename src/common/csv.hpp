@@ -1,0 +1,33 @@
+// Minimal CSV writer so benches can export the exact series behind every
+// reproduced figure (for external plotting).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace uwb {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Check ok() before relying on output.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  /// Write the header row (call once, first).
+  void header(const std::vector<std::string>& columns);
+
+  /// Write one numeric row; must match the header width.
+  void row(const std::vector<double>& values);
+
+  /// Rows written so far (excluding the header).
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace uwb

@@ -1,0 +1,50 @@
+// Precondition / postcondition checking.
+//
+// Following the Core Guidelines (I.5/I.6), interface preconditions are stated
+// and checked at run time. Violations indicate programmer error and throw
+// uwb::PreconditionError so tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace uwb {
+
+/// Thrown when a stated interface precondition is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant or postcondition fails.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void precondition_failed(const char* expr, const char* file,
+                                             int line) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+[[noreturn]] inline void invariant_failed(const char* expr, const char* file,
+                                          int line) {
+  throw InvariantError(std::string("invariant failed: ") + expr + " at " +
+                       file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace uwb
+
+#define UWB_EXPECTS(cond)                                          \
+  do {                                                             \
+    if (!(cond))                                                   \
+      ::uwb::detail::precondition_failed(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define UWB_ENSURES(cond)                                        \
+  do {                                                           \
+    if (!(cond))                                                 \
+      ::uwb::detail::invariant_failed(#cond, __FILE__, __LINE__); \
+  } while (false)

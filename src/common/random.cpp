@@ -1,0 +1,59 @@
+#include "common/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/expects.hpp"
+
+namespace uwb {
+
+double Rng::uniform(double lo, double hi) {
+  UWB_EXPECTS(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  UWB_EXPECTS(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  UWB_EXPECTS(stddev >= 0.0);
+  if (stddev == 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::rayleigh(double sigma) {
+  UWB_EXPECTS(sigma >= 0.0);
+  const double u = uniform(1e-300, 1.0);
+  return sigma * std::sqrt(-2.0 * std::log(u));
+}
+
+double Rng::exponential(double mean) {
+  UWB_EXPECTS(mean > 0.0);
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+int Rng::poisson(double mean) {
+  UWB_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  return std::poisson_distribution<int>(mean)(engine_);
+}
+
+bool Rng::chance(double probability) {
+  UWB_EXPECTS(probability >= 0.0 && probability <= 1.0);
+  return std::bernoulli_distribution(probability)(engine_);
+}
+
+Complex Rng::complex_normal(double sigma) {
+  return {normal(0.0, sigma), normal(0.0, sigma)};
+}
+
+Complex Rng::random_phase() {
+  const double phi = uniform(0.0, 2.0 * std::numbers::pi);
+  return {std::cos(phi), std::sin(phi)};
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+}  // namespace uwb

@@ -1,0 +1,15 @@
+// Fundamental numeric aliases used throughout the library.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace uwb {
+
+using Real = double;
+using Complex = std::complex<double>;
+using CVec = std::vector<Complex>;
+using RVec = std::vector<double>;
+
+}  // namespace uwb

@@ -1,0 +1,19 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace uwb {
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  const double us = micros();
+  std::snprintf(buf, sizeof(buf), "%.6f us", us);
+  return buf;
+}
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+}  // namespace uwb

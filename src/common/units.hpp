@@ -1,0 +1,60 @@
+// Time and unit handling.
+//
+// Simulation time is an integer picosecond count (`SimTime`). Picoseconds are
+// fine enough to represent the DW1000's 15.65 ps timestamp resolution without
+// accumulating floating-point error over long simulations, and a signed
+// 64-bit count covers ±106 days.
+//
+// Physical lengths are carried as plain `double` metres inside numeric code;
+// protocol-level APIs document the unit in the name (`distance_m`, ...).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace uwb {
+
+/// Absolute simulation time or duration in integer picoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t picoseconds) : ps_(picoseconds) {}
+
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e12 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr SimTime from_micros(double us) { return from_seconds(us * 1e-6); }
+  static constexpr SimTime from_nanos(double ns) { return from_seconds(ns * 1e-9); }
+
+  constexpr std::int64_t ps() const { return ps_; }
+  constexpr double seconds() const { return static_cast<double>(ps_) * 1e-12; }
+  constexpr double micros() const { return static_cast<double>(ps_) * 1e-6; }
+  constexpr double nanos() const { return static_cast<double>(ps_) * 1e-3; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ps_ + o.ps_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ps_ - o.ps_); }
+  constexpr SimTime& operator+=(SimTime o) {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ps_ -= o.ps_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime(ps_ * k); }
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t ps_ = 0;
+};
+
+/// Convert decibels to linear power ratio.
+double db_to_linear(double db);
+/// Convert linear power ratio to decibels.
+double linear_to_db(double ratio);
+
+}  // namespace uwb

@@ -1,0 +1,107 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/expects.hpp"
+
+namespace uwb::dsp {
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  UWB_EXPECTS(n >= 1);
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_pow2_inplace(CVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  UWB_EXPECTS(is_pow2(n));
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  // Butterflies.
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex u = x[i + j];
+        const Complex v = x[i + j + len / 2] * w;
+        x[i + j] = u + v;
+        x[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+namespace {
+
+// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+// power-of-two circular convolution.
+CVec bluestein(const CVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  // With the decomposition below (a[n] = x[n] conj(w[n]), b = w, output
+  // scaled by conj(w[k])), the kernel evaluates to e^{-sign*2pi*i*kn/n}, so
+  // the forward transform needs the positive chirp.
+  const double sign = inverse ? -1.0 : 1.0;
+  // Chirp terms w[k] = e^{sign * i * pi * k^2 / n}.
+  CVec w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids precision loss for large k.
+    const std::uint64_t k2 = (static_cast<std::uint64_t>(k) * k) % (2 * n);
+    const double ang =
+        sign * std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n);
+    w[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+  const std::size_t m = next_pow2(2 * n - 1);
+  CVec a(m, Complex{}), b(m, Complex{});
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * std::conj(w[k]);
+  b[0] = w[0];
+  for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = w[k];
+  fft_pow2_inplace(a, false);
+  fft_pow2_inplace(b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2_inplace(a, true);
+  CVec out(n);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * scale * std::conj(w[k]);
+  return out;
+}
+
+}  // namespace
+
+CVec fft(const CVec& x) {
+  UWB_EXPECTS(!x.empty());
+  if (is_pow2(x.size())) {
+    CVec y = x;
+    fft_pow2_inplace(y, false);
+    return y;
+  }
+  return bluestein(x, false);
+}
+
+CVec ifft(const CVec& x) {
+  UWB_EXPECTS(!x.empty());
+  CVec y;
+  if (is_pow2(x.size())) {
+    y = x;
+    fft_pow2_inplace(y, true);
+  } else {
+    y = bluestein(x, true);
+  }
+  const double scale = 1.0 / static_cast<double>(x.size());
+  for (auto& v : y) v *= scale;
+  return y;
+}
+
+}  // namespace uwb::dsp

@@ -1,0 +1,30 @@
+// Discrete Fourier transforms.
+//
+// `fft`/`ifft` accept any length: power-of-two inputs use an iterative
+// radix-2 Cooley-Tukey transform, everything else falls back to Bluestein's
+// chirp-z algorithm (needed because the DW1000 CIR is 1016 taps long).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace uwb::dsp {
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// Forward DFT of arbitrary length. Returns X[k] = sum_n x[n] e^{-2pi i kn/N}.
+CVec fft(const CVec& x);
+
+/// Inverse DFT of arbitrary length (includes the 1/N factor).
+CVec ifft(const CVec& x);
+
+/// In-place radix-2 FFT; `x.size()` must be a power of two.
+/// `inverse` selects the conjugate transform (without the 1/N factor).
+void fft_pow2_inplace(CVec& x, bool inverse);
+
+}  // namespace uwb::dsp

@@ -1,0 +1,58 @@
+#include "dsp/matched_filter.hpp"
+
+#include "common/expects.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/signal.hpp"
+
+namespace uwb::dsp {
+
+MatchedFilter::MatchedFilter(CVec pulse_template)
+    : tmpl_(normalize_energy(std::move(pulse_template))) {
+  UWB_EXPECTS(!tmpl_.empty());
+}
+
+CVec correlate_direct(const CVec& r, const CVec& unit_template) {
+  const std::size_t n = r.size();
+  const std::size_t np = unit_template.size();
+  CVec y(n, Complex{});
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex acc{};
+    const std::size_t mmax = std::min(np, n - i);
+    for (std::size_t m = 0; m < mmax; ++m)
+      acc += r[i + m] * std::conj(unit_template[m]);
+    y[i] = acc;
+  }
+  return y;
+}
+
+CVec MatchedFilter::apply(const CVec& r) const {
+  UWB_EXPECTS(!r.empty());
+  const std::size_t n = r.size();
+  const std::size_t np = tmpl_.size();
+  // For tiny inputs the direct form is cheaper and exact.
+  if (n * np <= 16384) return correlate_direct(r, tmpl_);
+
+  const std::size_t padded = next_pow2(n + np - 1);
+  if (spec_len_ != padded) {
+    CVec t(padded, Complex{});
+    // Correlation = convolution with conj-time-reversed template; placing
+    // conj(s[m]) at index (padded - m) % padded makes the circular
+    // convolution output index equal the template start position.
+    for (std::size_t m = 0; m < np; ++m)
+      t[(padded - m) % padded] = std::conj(tmpl_[m]);
+    fft_pow2_inplace(t, false);
+    tmpl_spec_ = std::move(t);
+    spec_len_ = padded;
+  }
+  CVec x(padded, Complex{});
+  std::copy(r.begin(), r.end(), x.begin());
+  fft_pow2_inplace(x, false);
+  for (std::size_t k = 0; k < padded; ++k) x[k] *= tmpl_spec_[k];
+  fft_pow2_inplace(x, true);
+  const double scale = 1.0 / static_cast<double>(padded);
+  CVec y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] * scale;
+  return y;
+}
+
+}  // namespace uwb::dsp

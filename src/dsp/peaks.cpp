@@ -1,0 +1,68 @@
+#include "dsp/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "dsp/signal.hpp"
+
+namespace uwb::dsp {
+
+std::size_t argmax_abs(const CVec& x) {
+  UWB_EXPECTS(!x.empty());
+  std::size_t best = 0;
+  double best_mag = std::abs(x[0]);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const double m = std::abs(x[i]);
+    if (m > best_mag) {
+      best_mag = m;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t argmax(const RVec& x) {
+  UWB_EXPECTS(!x.empty());
+  return static_cast<std::size_t>(
+      std::distance(x.begin(), std::max_element(x.begin(), x.end())));
+}
+
+std::vector<Peak> local_maxima(const CVec& x, double threshold,
+                               std::size_t min_distance) {
+  UWB_EXPECTS(!x.empty());
+  const RVec mag = magnitude(x);
+  std::vector<Peak> candidates;
+  for (std::size_t i = 0; i < mag.size(); ++i) {
+    const bool left_ok = (i == 0) || mag[i] >= mag[i - 1];
+    const bool right_ok = (i + 1 == mag.size()) || mag[i] > mag[i + 1];
+    if (left_ok && right_ok && mag[i] >= threshold)
+      candidates.push_back({i, mag[i]});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Peak& a, const Peak& b) { return a.magnitude > b.magnitude; });
+  std::vector<Peak> accepted;
+  for (const Peak& c : candidates) {
+    const bool clash = std::any_of(
+        accepted.begin(), accepted.end(), [&](const Peak& a) {
+          const std::size_t d =
+              c.index > a.index ? c.index - a.index : a.index - c.index;
+          return d < min_distance;
+        });
+    if (!clash) accepted.push_back(c);
+  }
+  std::sort(accepted.begin(), accepted.end(),
+            [](const Peak& a, const Peak& b) { return a.index < b.index; });
+  return accepted;
+}
+
+double noise_sigma_estimate(const CVec& x) {
+  UWB_EXPECTS(!x.empty());
+  RVec mag = magnitude(x);
+  const std::size_t mid = mag.size() / 2;
+  std::nth_element(mag.begin(), mag.begin() + mid, mag.end());
+  // Rayleigh median = sigma * sqrt(2 ln 2).
+  return mag[mid] / std::sqrt(2.0 * std::log(2.0));
+}
+
+}  // namespace uwb::dsp

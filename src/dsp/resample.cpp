@@ -1,0 +1,32 @@
+#include "dsp/resample.hpp"
+
+#include "common/expects.hpp"
+#include "dsp/fft.hpp"
+
+namespace uwb::dsp {
+
+CVec upsample_fft(const CVec& x, int factor) {
+  UWB_EXPECTS(!x.empty());
+  UWB_EXPECTS(factor >= 1);
+  if (factor == 1) return x;
+  const std::size_t n = x.size();
+  const std::size_t m = n * static_cast<std::size_t>(factor);
+  const CVec spec = fft(x);
+  CVec padded(m, Complex{});
+  // Copy positive frequencies [0, n/2) and negative frequencies (n/2, n).
+  const std::size_t half = n / 2;
+  for (std::size_t k = 0; k < half; ++k) padded[k] = spec[k];
+  for (std::size_t k = half + (n % 2); k < n; ++k) padded[m - n + k] = spec[k];
+  if (n % 2 == 0) {
+    // Split the Nyquist bin between the two halves to keep a real input real.
+    padded[half] = spec[half] * 0.5;
+    padded[m - half] = spec[half] * 0.5;
+  } else {
+    padded[half] = spec[half];
+  }
+  CVec y = ifft(padded);
+  for (auto& v : y) v *= static_cast<double>(factor);
+  return y;
+}
+
+}  // namespace uwb::dsp

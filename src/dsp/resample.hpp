@@ -1,0 +1,18 @@
+// Band-limited resampling.
+//
+// Sect. IV step 1 of the paper upsamples the CIR "using fast Fourier
+// transform in order to obtain a smoother signal"; `upsample_fft` is that
+// operation: zero-padding in the frequency domain, which interpolates the
+// band-limited signal exactly.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace uwb::dsp {
+
+/// FFT interpolation by an integer factor. Returns a signal of length
+/// `x.size() * factor`; sample i of the output corresponds to time
+/// i * (Ts / factor). factor >= 1.
+CVec upsample_fft(const CVec& x, int factor);
+
+}  // namespace uwb::dsp

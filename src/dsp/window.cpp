@@ -1,0 +1,42 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/expects.hpp"
+
+namespace uwb::dsp {
+
+RVec hann(std::size_t n) {
+  UWB_EXPECTS(n >= 1);
+  RVec w(n);
+  for (std::size_t i = 0; i < n; ++i)
+    w[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                                static_cast<double>(n));
+  return w;
+}
+
+RVec hamming(std::size_t n) {
+  UWB_EXPECTS(n >= 1);
+  RVec w(n);
+  for (std::size_t i = 0; i < n; ++i)
+    w[i] = 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                                  static_cast<double>(n));
+  return w;
+}
+
+RVec gaussian(std::size_t n, double sigma_fraction) {
+  UWB_EXPECTS(n >= 1);
+  UWB_EXPECTS(sigma_fraction > 0.0);
+  RVec w(n);
+  const double centre = static_cast<double>(n - 1) / 2.0;
+  const double sigma = sigma_fraction * centre > 0 ? sigma_fraction * centre
+                                                   : sigma_fraction;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = (static_cast<double>(i) - centre) / (sigma > 0 ? sigma : 1.0);
+    w[i] = std::exp(-0.5 * z * z);
+  }
+  return w;
+}
+
+}  // namespace uwb::dsp

@@ -1,0 +1,20 @@
+// Window functions (used for pulse-template construction and spectral work).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace uwb::dsp {
+
+/// Periodic Hann window of length n.
+RVec hann(std::size_t n);
+
+/// Periodic Hamming window of length n.
+RVec hamming(std::size_t n);
+
+/// Gaussian window of length n; `sigma_fraction` is the standard deviation
+/// as a fraction of (n-1)/2.
+RVec gaussian(std::size_t n, double sigma_fraction);
+
+}  // namespace uwb::dsp

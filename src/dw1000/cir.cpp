@@ -1,0 +1,43 @@
+#include "dw1000/cir.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "dw1000/pulse.hpp"
+
+namespace uwb::dw {
+
+CirEstimate synthesize_cir(const std::vector<CirArrival>& arrivals,
+                           const CirParams& params, Rng& rng) {
+  UWB_EXPECTS(params.length > 0);
+  UWB_EXPECTS(params.ts_s > 0.0);
+  UWB_EXPECTS(params.noise_sigma >= 0.0);
+
+  CirEstimate out;
+  out.ts_s = params.ts_s;
+  out.taps.assign(static_cast<std::size_t>(params.length), Complex{});
+
+  for (const CirArrival& a : arrivals) {
+    const double half = pulse_duration_s(a.tc_pgdelay) / 2.0;
+    const auto lo = static_cast<std::ptrdiff_t>(
+        std::floor((a.time_into_window_s - half) / params.ts_s));
+    const auto hi = static_cast<std::ptrdiff_t>(
+        std::ceil((a.time_into_window_s + half) / params.ts_s));
+    const std::ptrdiff_t begin = std::max<std::ptrdiff_t>(0, lo);
+    const std::ptrdiff_t end =
+        std::min<std::ptrdiff_t>(params.length - 1, hi);
+    for (std::ptrdiff_t n = begin; n <= end; ++n) {
+      const double t = static_cast<double>(n) * params.ts_s - a.time_into_window_s;
+      out.taps[static_cast<std::size_t>(n)] +=
+          a.amplitude * pulse_value(a.tc_pgdelay, t);
+    }
+  }
+
+  if (params.noise_sigma > 0.0) {
+    for (auto& tap : out.taps) tap += rng.complex_normal(params.noise_sigma);
+  }
+  return out;
+}
+
+}  // namespace uwb::dw

@@ -1,0 +1,21 @@
+// CIR persistence: dump/reload estimated CIRs as CSV so rounds captured in
+// simulation can be analysed offline (or replayed through the detectors).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dw1000/cir.hpp"
+
+namespace uwb::dw {
+
+/// Write `cir` to `path` as CSV with columns tap,re,im (plus a header line
+/// carrying ts and the first-path index as comments). Returns false on I/O
+/// failure.
+bool save_cir_csv(const CirEstimate& cir, const std::string& path);
+
+/// Load a CIR previously written by save_cir_csv. Returns nullopt on parse
+/// or I/O failure.
+std::optional<CirEstimate> load_cir_csv(const std::string& path);
+
+}  // namespace uwb::dw

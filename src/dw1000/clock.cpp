@@ -1,0 +1,56 @@
+#include "dw1000/clock.hpp"
+
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace uwb::dw {
+
+namespace {
+constexpr std::uint64_t kWrap = std::uint64_t{1} << 40;
+}
+
+std::int64_t DwTimestamp::diff_ticks(DwTimestamp other) const {
+  const std::uint64_t d = (ticks_ - other.ticks_) & k::dw_timestamp_mask;
+  if (d >= kWrap / 2) return static_cast<std::int64_t>(d) - static_cast<std::int64_t>(kWrap);
+  return static_cast<std::int64_t>(d);
+}
+
+DwTimestamp DwTimestamp::plus_ticks(std::int64_t delta) const {
+  const auto wrapped = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(ticks_) + delta);
+  return DwTimestamp(wrapped & k::dw_timestamp_mask);
+}
+
+DwTimestamp DwTimestamp::plus_seconds(double s) const {
+  return plus_ticks(static_cast<std::int64_t>(std::llround(s * k::dw_tick_hz)));
+}
+
+DwTimestamp quantize_delayed_tx(DwTimestamp target) {
+  const std::uint64_t mask = ~((std::uint64_t{1} << k::dw_delayed_tx_ignored_bits) - 1);
+  return DwTimestamp(target.ticks() & mask);
+}
+
+double delayed_tx_granularity_s() {
+  return static_cast<double>(std::uint64_t{1} << k::dw_delayed_tx_ignored_bits) *
+         k::dw_tick_s;
+}
+
+DwTimestamp ClockModel::device_time(SimTime t) const {
+  const double local_s = (t + offset_).seconds() * (1.0 + drift_ppm_ * 1e-6);
+  // Round to the nearest tick, then wrap to 40 bits. Negative local times
+  // (before the device epoch) wrap backwards consistently.
+  const auto ticks = static_cast<std::int64_t>(std::llround(local_s * k::dw_tick_hz));
+  return DwTimestamp(static_cast<std::uint64_t>(ticks) & k::dw_timestamp_mask);
+}
+
+SimTime ClockModel::global_time_of(DwTimestamp target, SimTime now) const {
+  const DwTimestamp current = device_time(now);
+  const std::uint64_t forward =
+      (target.ticks() - current.ticks()) & k::dw_timestamp_mask;
+  const double local_s = static_cast<double>(forward) * k::dw_tick_s;
+  const double global_s = local_s / (1.0 + drift_ppm_ * 1e-6);
+  return now + SimTime::from_seconds(global_s);
+}
+
+}  // namespace uwb::dw

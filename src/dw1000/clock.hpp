@@ -1,0 +1,83 @@
+// Device clock model: 40-bit timestamps, crystal offset/drift, and the
+// delayed-transmission truncation.
+//
+// The DW1000 timestamps events with a 40-bit counter ticking at
+// 128 * 499.2 MHz = 63.8976 GHz (~15.65 ps per tick, wrapping every ~17.2 s).
+// Delayed transmission ignores the low 9 bits of the programmed target time,
+// which limits TX timestamp resolution to ~8 ns (paper Sect. III, "Limited
+// TX timestamp resolution").
+#pragma once
+
+#include <cstdint>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace uwb::dw {
+
+/// A 40-bit device timestamp in 15.65 ps ticks, with wrap-aware arithmetic.
+class DwTimestamp {
+ public:
+  constexpr DwTimestamp() = default;
+  constexpr explicit DwTimestamp(std::uint64_t raw_ticks)
+      : ticks_(raw_ticks & k::dw_timestamp_mask) {}
+
+  constexpr std::uint64_t ticks() const { return ticks_; }
+
+  /// Seconds represented by the raw counter value (0 .. ~17.2 s).
+  double seconds() const { return static_cast<double>(ticks_) * k::dw_tick_s; }
+
+  /// Wrap-aware signed difference (this - other) in ticks, interpreted as
+  /// the shortest distance on the 40-bit circle.
+  std::int64_t diff_ticks(DwTimestamp other) const;
+
+  /// Wrap-aware signed difference in seconds.
+  double diff_seconds(DwTimestamp other) const {
+    return static_cast<double>(diff_ticks(other)) * k::dw_tick_s;
+  }
+
+  /// Advance by a (possibly negative) number of ticks, wrapping.
+  DwTimestamp plus_ticks(std::int64_t delta) const;
+
+  /// Advance by a duration, wrapping.
+  DwTimestamp plus_seconds(double s) const;
+
+  constexpr bool operator==(const DwTimestamp&) const = default;
+
+ private:
+  std::uint64_t ticks_ = 0;
+};
+
+/// Apply the DW1000 delayed-TX truncation: the low 9 bits of the target are
+/// ignored, i.e. the transmission happens at the target rounded *down* to a
+/// 512-tick (~8.013 ns) boundary.
+DwTimestamp quantize_delayed_tx(DwTimestamp target);
+
+/// Duration of the delayed-TX granularity in seconds (~8.013 ns).
+double delayed_tx_granularity_s();
+
+/// Per-node free-running clock: maps global simulation time to the device's
+/// 40-bit counter, including a fixed epoch offset and crystal drift in ppm.
+class ClockModel {
+ public:
+  ClockModel() = default;
+  ClockModel(SimTime epoch_offset, double drift_ppm)
+      : offset_(epoch_offset), drift_ppm_(drift_ppm) {}
+
+  /// Device counter value at global time t.
+  DwTimestamp device_time(SimTime t) const;
+
+  /// Global simulation time at which the device counter next reaches
+  /// `target`, given the current global time `now` (searches forward within
+  /// one wrap period).
+  SimTime global_time_of(DwTimestamp target, SimTime now) const;
+
+  double drift_ppm() const { return drift_ppm_; }
+  SimTime epoch_offset() const { return offset_; }
+
+ private:
+  SimTime offset_;
+  double drift_ppm_ = 0.0;
+};
+
+}  // namespace uwb::dw

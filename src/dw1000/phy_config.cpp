@@ -1,0 +1,87 @@
+#include "dw1000/phy_config.hpp"
+
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace uwb::dw {
+
+namespace {
+constexpr double kPsym64 = 1017.63e-9;
+constexpr double kPsym16 = 993.59e-9;
+constexpr double kDsym110 = 8205.13e-9;
+constexpr double kDsym850 = 1025.64e-9;
+constexpr double kDsym6M8 = 128.21e-9;
+constexpr int kPhrSymbols = 21;
+constexpr int kRsBlockBits = 330;
+constexpr int kRsParityBits = 48;
+}  // namespace
+
+UwbChannelInfo channel_info(int channel_number) {
+  switch (channel_number) {
+    case 1: return {1, 3494.4e6, 499.2e6};
+    case 2: return {2, 3993.6e6, 499.2e6};
+    case 3: return {3, 4492.8e6, 499.2e6};
+    case 4: return {4, 3993.6e6, 900e6};
+    case 5: return {5, 6489.6e6, 499.2e6};
+    case 7: return {7, 6489.6e6, 900e6};
+    default: break;
+  }
+  throw PreconditionError("unsupported DW1000 channel number");
+}
+
+double PhyConfig::preamble_symbol_s() const {
+  return prf == Prf::Mhz64 ? kPsym64 : kPsym16;
+}
+
+int PhyConfig::sfd_symbols() const { return rate == DataRate::k110 ? 64 : 8; }
+
+double PhyConfig::shr_duration_s() const {
+  return (preamble_symbols + sfd_symbols()) * preamble_symbol_s();
+}
+
+double PhyConfig::phr_duration_s() const {
+  // The PHR is sent at 850 kbps for the 850 kbps and 6.8 Mbps data rates,
+  // and at 110 kbps for the 110 kbps rate.
+  const double sym = rate == DataRate::k110 ? kDsym110 : kDsym850;
+  return kPhrSymbols * sym;
+}
+
+double PhyConfig::data_symbol_s() const {
+  switch (rate) {
+    case DataRate::k110: return kDsym110;
+    case DataRate::k850: return kDsym850;
+    case DataRate::M6_8: return kDsym6M8;
+  }
+  throw InvariantError("unreachable data rate");
+}
+
+double PhyConfig::payload_duration_s(int payload_bytes) const {
+  UWB_EXPECTS(payload_bytes >= 0 && payload_bytes <= 127);
+  const int bits = payload_bytes * 8;
+  const int parity =
+      kRsParityBits * static_cast<int>(std::ceil(static_cast<double>(bits) /
+                                                 kRsBlockBits));
+  return (bits + parity) * data_symbol_s();
+}
+
+double PhyConfig::frame_duration_s(int payload_bytes) const {
+  return shr_duration_s() + phr_duration_s() + payload_duration_s(payload_bytes);
+}
+
+int PhyConfig::cir_length() const {
+  return prf == Prf::Mhz64 ? k::cir_len_prf64 : k::cir_len_prf16;
+}
+
+void PhyConfig::validate() const {
+  channel_info(channel);  // throws on a bad channel
+  UWB_EXPECTS(preamble_symbols >= 64 && preamble_symbols <= 4096);
+  UWB_EXPECTS(tc_pgdelay >= k::tc_pgdelay_default);
+}
+
+double min_response_delay_s(const PhyConfig& cfg, int init_payload_bytes) {
+  return cfg.phr_duration_s() + cfg.payload_duration_s(init_payload_bytes) +
+         cfg.shr_duration_s();
+}
+
+}  // namespace uwb::dw

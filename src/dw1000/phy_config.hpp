@@ -1,0 +1,72 @@
+// IEEE 802.15.4 UWB PHY configuration and frame timing.
+//
+// Frame air-times follow the Decawave-documented symbol durations:
+//   preamble symbol: 1017.63 ns (PRF 64 MHz) / 993.59 ns (PRF 16 MHz),
+//   data symbol:     8205.13 ns (110 kbps), 1025.64 ns (850 kbps),
+//                    128.21 ns (6.8 Mbps),
+//   PHR: 21 symbols at the 850 kbps symbol time (at 110 kbps: its own rate),
+//   Reed-Solomon parity: 48 bits per started 330-bit payload block.
+//
+// With DR = 6.8 Mbps, PRF = 64 MHz, PSR = 128 and a 12-byte INIT payload the
+// minimum response delay (PHR + payload of INIT plus preamble + SFD of RESP)
+// evaluates to ~178.5 us, matching the paper (Sect. III).
+#pragma once
+
+#include <cstdint>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace uwb::dw {
+
+enum class DataRate { k110, k850, M6_8 };
+enum class Prf { Mhz16, Mhz64 };
+
+/// Centre frequency / bandwidth of a DW1000 UWB channel.
+struct UwbChannelInfo {
+  int number = 7;
+  double centre_hz = 6489.6e6;
+  double bandwidth_hz = 900e6;
+};
+
+/// Lookup for the DW1000-supported channels {1,2,3,4,5,7}.
+UwbChannelInfo channel_info(int channel_number);
+
+/// Full PHY configuration of one radio.
+struct PhyConfig {
+  int channel = 7;
+  Prf prf = Prf::Mhz64;
+  DataRate rate = DataRate::M6_8;
+  /// Preamble symbol repetitions (PSR): 64..4096.
+  int preamble_symbols = 128;
+  /// Pulse-shaping register (paper Sect. V).
+  std::uint8_t tc_pgdelay = k::tc_pgdelay_default;
+
+  /// Duration of one preamble symbol.
+  double preamble_symbol_s() const;
+  /// Number of SFD symbols (64 at 110 kbps, 8 otherwise).
+  int sfd_symbols() const;
+  /// Synchronisation header (preamble + SFD) duration.
+  double shr_duration_s() const;
+  /// PHY header duration.
+  double phr_duration_s() const;
+  /// Duration of one data symbol at the configured rate.
+  double data_symbol_s() const;
+  /// Data-part duration for an n-byte MAC payload (includes RS parity).
+  double payload_duration_s(int payload_bytes) const;
+  /// Total frame air time.
+  double frame_duration_s(int payload_bytes) const;
+  /// Offset of the RMARKER (start of PHR, the IEEE timestamp reference)
+  /// from the start of the preamble.
+  double rmarker_offset_s() const { return shr_duration_s(); }
+  /// CIR accumulator length for the configured PRF.
+  int cir_length() const;
+  /// Validate ranges; throws PreconditionError on nonsense.
+  void validate() const;
+};
+
+/// Minimum response delay of the concurrent ranging scheme for a given INIT
+/// payload: PHR + payload of INIT plus preamble + SFD of RESP (Sect. III).
+double min_response_delay_s(const PhyConfig& cfg, int init_payload_bytes);
+
+}  // namespace uwb::dw

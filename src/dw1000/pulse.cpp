@@ -1,0 +1,88 @@
+#include "dw1000/pulse.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+
+namespace uwb::dw {
+
+namespace {
+
+// Calibration of the analytic template (see header).
+//
+// The template is a Gaussian-windowed oscillation plus a trailing ring lobe:
+// increasing TC_PGDELAY slows the pulse generator, which both widens the
+// envelope (lower bandwidth) and shifts the residual oscillation frequency —
+// the structural change visible across the measured shapes in Fig. 5. The
+// frequency term is what keeps even nearby register values distinguishable
+// by matched filtering (canonical s1/s2/s3 cross-correlations ~0.6/0.3/0.5).
+constexpr double kBaseSigmaS = 0.75e-9;  // default main-lobe sigma (~2 ns FWHM)
+constexpr double kWidthSlope = 0.020;    // envelope growth per register step
+constexpr double kBaseFreqHz = 60e6;     // residual oscillation at the default
+// Oscillation shift per register step. Kept small enough that every shape's
+// spectrum stays inside the +-499 MHz band of the 1.0016 ns CIR sampling —
+// otherwise the accumulator aliases the pulse and matched filtering against
+// the true template breaks down.
+constexpr double kFreqSlopeHz = 2.5e6;
+constexpr double kRingAmp = 0.25;        // trailing ring lobe amplitude
+
+int register_delta(std::uint8_t reg) {
+  UWB_EXPECTS(reg >= k::tc_pgdelay_default);
+  return reg - k::tc_pgdelay_default;
+}
+
+double gauss(double t, double sigma) {
+  const double z = t / sigma;
+  return std::exp(-0.5 * z * z);
+}
+
+}  // namespace
+
+double pulse_width_factor(std::uint8_t tc_pgdelay) {
+  return 1.0 + kWidthSlope * register_delta(tc_pgdelay);
+}
+
+double pulse_value(std::uint8_t tc_pgdelay, double t_s) {
+  const int delta = register_delta(tc_pgdelay);
+  const double sigma = kBaseSigmaS * (1.0 + kWidthSlope * delta);
+  const double freq = kBaseFreqHz + kFreqSlopeHz * delta;
+  return gauss(t_s, sigma) * std::cos(2.0 * std::numbers::pi * freq * t_s) -
+         kRingAmp * gauss(t_s - 1.9 * sigma, 0.6 * sigma);
+}
+
+double pulse_duration_s(std::uint8_t tc_pgdelay) {
+  const double sigma = kBaseSigmaS * pulse_width_factor(tc_pgdelay);
+  // Support [-4.5 sigma, +6 sigma] rounded to a symmetric window.
+  return 12.0 * sigma;
+}
+
+double pulse_main_lobe_s(std::uint8_t tc_pgdelay) {
+  const double sigma = kBaseSigmaS * pulse_width_factor(tc_pgdelay);
+  return 2.355 * sigma;  // Gaussian FWHM
+}
+
+double pulse_bandwidth_hz(std::uint8_t tc_pgdelay) {
+  return 900e6 / pulse_width_factor(tc_pgdelay);
+}
+
+CVec sample_pulse_template(std::uint8_t tc_pgdelay, double ts_s) {
+  UWB_EXPECTS(ts_s > 0.0);
+  const double half = pulse_duration_s(tc_pgdelay) / 2.0;
+  const auto half_n = static_cast<std::size_t>(std::ceil(half / ts_s));
+  CVec tmpl(2 * half_n + 1);
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    const double t = (static_cast<double>(i) - static_cast<double>(half_n)) * ts_s;
+    tmpl[i] = Complex(pulse_value(tc_pgdelay, t), 0.0);
+  }
+  return tmpl;
+}
+
+std::size_t template_centre_index(std::uint8_t tc_pgdelay, double ts_s) {
+  UWB_EXPECTS(ts_s > 0.0);
+  const double half = pulse_duration_s(tc_pgdelay) / 2.0;
+  return static_cast<std::size_t>(std::ceil(half / ts_s));
+}
+
+}  // namespace uwb::dw

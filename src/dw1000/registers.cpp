@@ -1,0 +1,136 @@
+#include "dw1000/registers.hpp"
+
+#include "common/expects.hpp"
+
+namespace uwb::dw {
+
+namespace {
+constexpr std::uint32_t kTxbrShift = 13;   // TX_FCTRL TXBR
+constexpr std::uint32_t kTxprfShift = 16;  // TX_FCTRL TXPRF
+constexpr std::uint32_t kPsrShift = 18;    // TX_FCTRL TXPSR+PE (4 bits)
+}  // namespace
+
+std::uint32_t encode_txbr(DataRate rate) {
+  switch (rate) {
+    case DataRate::k110: return 0b00u << kTxbrShift;
+    case DataRate::k850: return 0b01u << kTxbrShift;
+    case DataRate::M6_8: return 0b10u << kTxbrShift;
+  }
+  throw InvariantError("unreachable data rate");
+}
+
+DataRate decode_txbr(std::uint32_t tx_fctrl) {
+  switch ((tx_fctrl >> kTxbrShift) & 0b11u) {
+    case 0b00: return DataRate::k110;
+    case 0b01: return DataRate::k850;
+    case 0b10: return DataRate::M6_8;
+    default: break;
+  }
+  throw PreconditionError("reserved TXBR value");
+}
+
+std::uint32_t encode_txprf(Prf prf) {
+  return (prf == Prf::Mhz16 ? 0b01u : 0b10u) << kTxprfShift;
+}
+
+Prf decode_txprf(std::uint32_t tx_fctrl) {
+  switch ((tx_fctrl >> kTxprfShift) & 0b11u) {
+    case 0b01: return Prf::Mhz16;
+    case 0b10: return Prf::Mhz64;
+    default: break;
+  }
+  throw PreconditionError("reserved TXPRF value");
+}
+
+std::uint32_t encode_psr(int preamble_symbols) {
+  // TXPSR (bits 19:18) selects the base length, PE (21:20) the extension:
+  // 64=01/00 128=01/01 256=01/10 512=01/11 1024=10/00 1536=10/01
+  // 2048=10/10 4096=11/00 (User Manual table 16).
+  std::uint32_t psr = 0, pe = 0;
+  switch (preamble_symbols) {
+    case 64: psr = 0b01; pe = 0b00; break;
+    case 128: psr = 0b01; pe = 0b01; break;
+    case 256: psr = 0b01; pe = 0b10; break;
+    case 512: psr = 0b01; pe = 0b11; break;
+    case 1024: psr = 0b10; pe = 0b00; break;
+    case 1536: psr = 0b10; pe = 0b01; break;
+    case 2048: psr = 0b10; pe = 0b10; break;
+    case 4096: psr = 0b11; pe = 0b00; break;
+    default:
+      throw PreconditionError("unsupported preamble length for TXPSR/PE");
+  }
+  return (psr << kPsrShift) | (pe << (kPsrShift + 2));
+}
+
+int decode_psr(std::uint32_t tx_fctrl) {
+  const std::uint32_t psr = (tx_fctrl >> kPsrShift) & 0b11u;
+  const std::uint32_t pe = (tx_fctrl >> (kPsrShift + 2)) & 0b11u;
+  if (psr == 0b01) {
+    switch (pe) {
+      case 0b00: return 64;
+      case 0b01: return 128;
+      case 0b10: return 256;
+      case 0b11: return 512;
+    }
+  }
+  if (psr == 0b10) {
+    switch (pe) {
+      case 0b00: return 1024;
+      case 0b01: return 1536;
+      case 0b10: return 2048;
+      default: break;
+    }
+  }
+  if (psr == 0b11 && pe == 0b00) return 4096;
+  throw PreconditionError("reserved TXPSR/PE combination");
+}
+
+std::uint32_t RegisterFile::read32(RegFile file, std::uint16_t sub) const {
+  const auto it = words_.find({static_cast<std::uint8_t>(file), sub});
+  return it == words_.end() ? 0u : it->second;
+}
+
+void RegisterFile::write32(RegFile file, std::uint16_t sub, std::uint32_t value) {
+  words_[{static_cast<std::uint8_t>(file), sub}] = value;
+}
+
+void RegisterFile::write_dx_time(DwTimestamp target) {
+  dx_time_ = target.ticks();
+}
+
+DwTimestamp RegisterFile::read_dx_time() const { return DwTimestamp(dx_time_); }
+
+DwTimestamp RegisterFile::effective_tx_time() const {
+  return quantize_delayed_tx(DwTimestamp(dx_time_));
+}
+
+void RegisterFile::apply_phy_config(const PhyConfig& config) {
+  config.validate();
+  const std::uint32_t tx_fctrl = encode_txbr(config.rate) |
+                                 encode_txprf(config.prf) |
+                                 encode_psr(config.preamble_symbols);
+  write32(RegFile::TX_FCTRL, 0, tx_fctrl);
+
+  // CHAN_CTRL: TX and RX channel in the low byte, RXPRF mirrors TXPRF.
+  const auto chan = static_cast<std::uint32_t>(config.channel);
+  const std::uint32_t rxprf = (config.prf == Prf::Mhz16 ? 0b01u : 0b10u) << 18;
+  write32(RegFile::CHAN_CTRL, 0, chan | (chan << 4) | rxprf);
+
+  write32(RegFile::TX_CAL, kTcPgDelaySub, config.tc_pgdelay);
+}
+
+PhyConfig RegisterFile::decode_phy_config() const {
+  const std::uint32_t tx_fctrl = read32(RegFile::TX_FCTRL, 0);
+  const std::uint32_t chan_ctrl = read32(RegFile::CHAN_CTRL, 0);
+  PhyConfig config;
+  config.rate = decode_txbr(tx_fctrl);
+  config.prf = decode_txprf(tx_fctrl);
+  config.preamble_symbols = decode_psr(tx_fctrl);
+  config.channel = static_cast<int>(chan_ctrl & 0xF);
+  config.tc_pgdelay =
+      static_cast<std::uint8_t>(read32(RegFile::TX_CAL, kTcPgDelaySub) & 0xFF);
+  config.validate();
+  return config;
+}
+
+}  // namespace uwb::dw

@@ -1,0 +1,74 @@
+// DW1000 register-file encoding (User Manual v2.10 field layouts).
+//
+// The subset of the register map a concurrent-ranging firmware touches:
+//
+//   TX_FCTRL  (0x08): TXBR[14:13] data rate, TXPRF[17:16], TXPSR+PE[21:18]
+//   DX_TIME   (0x0A): 40-bit delayed TX/RX time (low 9 bits ignored by HW)
+//   CHAN_CTRL (0x1F): TX_CHAN[3:0], RX_CHAN[7:4], RXPRF[19:18]
+//   TC_PGDELAY(0x2A:0B): 8-bit pulse generator delay (paper Sect. V)
+//
+// `encode_*` / `decode_*` translate between the library's typed PhyConfig
+// and the on-device bit patterns, so a firmware port drives real registers
+// through the exact code paths exercised here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "dw1000/clock.hpp"
+#include "dw1000/phy_config.hpp"
+
+namespace uwb::dw {
+
+/// Register file IDs (the DW1000's SPI-addressable files).
+enum class RegFile : std::uint8_t {
+  TX_FCTRL = 0x08,
+  DX_TIME = 0x0A,
+  CHAN_CTRL = 0x1F,
+  TX_CAL = 0x2A,  // sub-address 0x0B = TC_PGDELAY
+};
+
+/// TC_PGDELAY sub-address within TX_CAL.
+inline constexpr std::uint16_t kTcPgDelaySub = 0x0B;
+
+/// Encode the data-rate bits TXBR[14:13].
+std::uint32_t encode_txbr(DataRate rate);
+DataRate decode_txbr(std::uint32_t tx_fctrl);
+
+/// Encode the PRF bits TXPRF[17:16] (01 = 16 MHz, 10 = 64 MHz).
+std::uint32_t encode_txprf(Prf prf);
+Prf decode_txprf(std::uint32_t tx_fctrl);
+
+/// Encode the preamble length bits TXPSR[19:18] + PE[21:20].
+/// Supported lengths: 64, 128, 256, 512, 1024, 1536, 2048, 4096.
+std::uint32_t encode_psr(int preamble_symbols);
+int decode_psr(std::uint32_t tx_fctrl);
+
+/// A tiny register file holding raw 32-bit words per (file, sub-address),
+/// with typed encode/decode of the whole PHY configuration.
+class RegisterFile {
+ public:
+  RegisterFile() = default;
+
+  std::uint32_t read32(RegFile file, std::uint16_t sub = 0) const;
+  void write32(RegFile file, std::uint16_t sub, std::uint32_t value);
+
+  /// 40-bit delayed-TX target (DX_TIME). The hardware ignores the low 9
+  /// bits; the read-back reflects what was written, the *effective* time is
+  /// what quantize_delayed_tx() yields.
+  void write_dx_time(DwTimestamp target);
+  DwTimestamp read_dx_time() const;
+  DwTimestamp effective_tx_time() const;
+
+  /// Program every PHY field from a typed config.
+  void apply_phy_config(const PhyConfig& config);
+
+  /// Reconstruct the typed config from the programmed registers.
+  PhyConfig decode_phy_config() const;
+
+ private:
+  std::map<std::pair<std::uint8_t, std::uint16_t>, std::uint32_t> words_;
+  std::uint64_t dx_time_ = 0;
+};
+
+}  // namespace uwb::dw

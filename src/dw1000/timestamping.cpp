@@ -1,0 +1,48 @@
+#include "dw1000/timestamping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "dsp/peaks.hpp"
+#include "dsp/signal.hpp"
+#include "dw1000/pulse.hpp"
+
+namespace uwb::dw {
+
+double rx_timestamp_sigma_s(const TimestampModelParams& params,
+                            std::uint8_t tc_pgdelay) {
+  UWB_EXPECTS(params.base_jitter_s > 0.0);
+  const double w = pulse_width_factor(tc_pgdelay);
+  return params.base_jitter_s * (1.0 + params.width_jitter_slope * (w - 1.0));
+}
+
+DwTimestamp noisy_rx_timestamp(const TimestampModelParams& params,
+                               std::uint8_t tc_pgdelay, DwTimestamp true_arrival,
+                               Rng& rng) {
+  const double sigma = rx_timestamp_sigma_s(params, tc_pgdelay);
+  return true_arrival.plus_seconds(rng.normal(0.0, sigma));
+}
+
+double detect_first_path(const CVec& cir_taps, double noise_floor_factor,
+                         double relative_factor) {
+  UWB_EXPECTS(!cir_taps.empty());
+  UWB_EXPECTS(noise_floor_factor > 0.0 && relative_factor > 0.0);
+  const RVec mag = dsp::magnitude(cir_taps);
+  const double peak = *std::max_element(mag.begin(), mag.end());
+  const double noise = dsp::noise_sigma_estimate(cir_taps);
+  const double threshold = std::max(noise_floor_factor * noise,
+                                    relative_factor * peak);
+  for (std::size_t i = 0; i < mag.size(); ++i) {
+    if (mag[i] >= threshold) {
+      if (i == 0) return 0.0;
+      // Interpolate the crossing between i-1 and i.
+      const double below = mag[i - 1];
+      const double frac = (threshold - below) / (mag[i] - below);
+      return static_cast<double>(i - 1) + std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace uwb::dw

@@ -1,0 +1,26 @@
+#include "geom/materials.hpp"
+
+#include "common/expects.hpp"
+
+namespace uwb::geom {
+
+Room make_furnished_office(double width_m, double height_m) {
+  UWB_EXPECTS(width_m > 4.0 && height_m > 4.0);
+  Room room = Room::rectangular(width_m, height_m, material::plasterboard_db);
+  // A metal cabinet along the north wall and a half-height partition.
+  room.add_obstacle({{{width_m * 0.55, height_m - 0.4},
+                      {width_m * 0.75, height_m - 0.4}},
+                     obstruction::metal_cabinet_db,
+                     "cabinet"});
+  room.add_obstacle({{{width_m * 0.45, height_m * 0.25},
+                      {width_m * 0.45, height_m * 0.60}},
+                     obstruction::wooden_door_db,
+                     "partition"});
+  return room;
+}
+
+Room make_corridor(double length_m, double width_m, double wall_loss_db) {
+  return Room::hallway(length_m, width_m, wall_loss_db);
+}
+
+}  // namespace uwb::geom

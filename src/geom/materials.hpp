@@ -1,0 +1,41 @@
+// Wall/obstacle material presets for indoor UWB modelling.
+//
+// Effective power reflection losses at 6-7 GHz for common building
+// materials (order-of-magnitude literature values, adjusted for the 2-D
+// image-source model which concentrates specular energy — see
+// EXPERIMENTS.md calibration notes).
+#pragma once
+
+#include "geom/room.hpp"
+
+namespace uwb::geom {
+
+/// Effective specular reflection loss per bounce [dB].
+namespace material {
+inline constexpr double metal_db = 3.0;
+inline constexpr double concrete_db = 8.0;
+inline constexpr double brick_db = 10.0;
+inline constexpr double glass_db = 12.0;
+inline constexpr double plasterboard_db = 15.0;
+inline constexpr double wood_db = 17.0;
+}  // namespace material
+
+/// Typical transmission loss through obstacles [dB].
+namespace obstruction {
+inline constexpr double person_db = 6.0;
+inline constexpr double wooden_door_db = 4.0;
+inline constexpr double glass_door_db = 3.0;
+inline constexpr double brick_wall_db = 12.0;
+inline constexpr double concrete_wall_db = 18.0;
+inline constexpr double metal_cabinet_db = 25.0;
+}  // namespace obstruction
+
+/// A furnished office: plasterboard shell plus a metal cabinet and an
+/// interior partition — a ready-made multipath-rich evaluation room.
+Room make_furnished_office(double width_m = 12.0, double height_m = 8.0);
+
+/// A corridor with the material of choice on both side walls.
+Room make_corridor(double length_m, double width_m,
+                   double wall_loss_db = material::plasterboard_db);
+
+}  // namespace uwb::geom

@@ -1,0 +1,73 @@
+#include "geom/vec2.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+
+namespace uwb::geom {
+
+Vec2 normalized(Vec2 a) {
+  const double n = norm(a);
+  if (n == 0.0) return a;
+  return a / n;
+}
+
+namespace {
+int orientation_sign(Vec2 a, Vec2 b, Vec2 c) {
+  const double v = cross(b - a, c - a);
+  constexpr double eps = 1e-12;
+  if (v > eps) return 1;
+  if (v < -eps) return -1;
+  return 0;
+}
+bool on_segment(Vec2 a, Vec2 b, Vec2 p) {
+  return std::min(a.x, b.x) - 1e-12 <= p.x && p.x <= std::max(a.x, b.x) + 1e-12 &&
+         std::min(a.y, b.y) - 1e-12 <= p.y && p.y <= std::max(a.y, b.y) + 1e-12;
+}
+}  // namespace
+
+bool segments_intersect(const Segment& p, const Segment& q, bool strict) {
+  const int o1 = orientation_sign(p.a, p.b, q.a);
+  const int o2 = orientation_sign(p.a, p.b, q.b);
+  const int o3 = orientation_sign(q.a, q.b, p.a);
+  const int o4 = orientation_sign(q.a, q.b, p.b);
+  if (o1 != o2 && o3 != o4) {
+    if (!strict) return true;
+    // Strict: reject intersections exactly at an endpoint.
+    if (o1 == 0 || o2 == 0 || o3 == 0 || o4 == 0) return false;
+    return true;
+  }
+  if (strict) return false;
+  // Collinear overlap cases.
+  if (o1 == 0 && on_segment(p.a, p.b, q.a)) return true;
+  if (o2 == 0 && on_segment(p.a, p.b, q.b)) return true;
+  if (o3 == 0 && on_segment(q.a, q.b, p.a)) return true;
+  if (o4 == 0 && on_segment(q.a, q.b, p.b)) return true;
+  return false;
+}
+
+bool line_intersection(const Segment& p, const Segment& q, Vec2& out) {
+  const Vec2 r = p.b - p.a;
+  const Vec2 s = q.b - q.a;
+  const double denom = cross(r, s);
+  if (std::abs(denom) < 1e-15) return false;
+  const double t = cross(q.a - p.a, s) / denom;
+  out = p.a + r * t;
+  return true;
+}
+
+Vec2 mirror_across(const Segment& s, Vec2 p) {
+  UWB_EXPECTS(s.length() > 0.0);
+  const Vec2 d = normalized(s.b - s.a);
+  const Vec2 ap = p - s.a;
+  const Vec2 foot = s.a + d * dot(ap, d);
+  return foot * 2.0 - p;
+}
+
+double project_t(const Segment& s, Vec2 p) {
+  UWB_EXPECTS(s.length() > 0.0);
+  const Vec2 d = s.b - s.a;
+  return dot(p - s.a, d) / dot(d, d);
+}
+
+}  // namespace uwb::geom

@@ -1,0 +1,51 @@
+// 2-D vector algebra for floor-plan geometry.
+#pragma once
+
+#include <cmath>
+
+namespace uwb::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  constexpr Vec2 operator/(double k) const { return {x / k, y / k}; }
+  constexpr bool operator==(const Vec2&) const = default;
+};
+
+constexpr double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+constexpr double cross(Vec2 a, Vec2 b) { return a.x * b.y - a.y * b.x; }
+
+inline double norm(Vec2 a) { return std::sqrt(dot(a, a)); }
+inline double distance(Vec2 a, Vec2 b) { return norm(a - b); }
+
+/// Unit vector in the direction of a; {0,0} stays {0,0}.
+Vec2 normalized(Vec2 a);
+
+/// A line segment between two points.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  double length() const { return distance(a, b); }
+  Vec2 midpoint() const { return (a + b) / 2.0; }
+};
+
+/// True if segments p and q properly intersect (sharing only endpoints
+/// counts as no intersection when `strict` is true).
+bool segments_intersect(const Segment& p, const Segment& q, bool strict = false);
+
+/// Intersection point of the infinite lines through p and q, if not parallel;
+/// returns true and sets `out`.
+bool line_intersection(const Segment& p, const Segment& q, Vec2& out);
+
+/// Mirror point `p` across the infinite line through segment `s`.
+Vec2 mirror_across(const Segment& s, Vec2 p);
+
+/// Parameter t of the projection of point p onto segment s (0 at s.a, 1 at s.b).
+double project_t(const Segment& s, Vec2 p);
+
+}  // namespace uwb::geom

@@ -1,0 +1,58 @@
+#include "loc/anchor_system.hpp"
+
+#include <map>
+
+#include "common/expects.hpp"
+
+namespace uwb::loc {
+
+AnchorLocalizer::AnchorLocalizer(AnchorSystemConfig config)
+    : config_(std::move(config)) {
+  UWB_EXPECTS(config_.scenario.responders.size() >= 3);
+  // Extract extra peaks per round: multipath of a nearby anchor can
+  // out-rank a far anchor's direct path, and the per-anchor deduplication
+  // below discards the surplus safely.
+  if (config_.scenario.detect_max_responses == 0)
+    config_.scenario.detect_max_responses =
+        2 * static_cast<int>(config_.scenario.responders.size());
+  scenario_ = std::make_unique<ranging::ConcurrentRangingScenario>(
+      config_.scenario);
+}
+
+Fix AnchorLocalizer::locate(geom::Vec2 tag_position) {
+  scenario_->set_initiator_position(tag_position);
+  Fix fix;
+  fix.round = scenario_->run_round();
+  if (!fix.round.payload_decoded) return fix;
+
+  // Collect the decoded anchor distances. Each estimate carries the decoded
+  // responder ID (slot + pulse shape); unidentified detections are dropped,
+  // and when several detections decode to the same anchor (e.g. a diffuse
+  // tail peak landing in a neighbouring slot) only the strongest is kept.
+  std::map<int, const ranging::ResponderEstimate*> best;
+  for (const ranging::ResponderEstimate& est : fix.round.estimates) {
+    if (est.responder_id < 0 || est.distance_m <= 0.0) continue;
+    const auto it = best.find(est.responder_id);
+    if (it == best.end() || est.amplitude > it->second->amplitude)
+      best[est.responder_id] = &est;
+  }
+  std::vector<RangeObservation> obs;
+  for (const auto& [id, est] : best) {
+    for (const ranging::ResponderSpec& spec : config_.scenario.responders) {
+      if (spec.id == id) {
+        obs.push_back({spec.position, est->distance_m});
+        break;
+      }
+    }
+  }
+  fix.anchors_used = static_cast<int>(obs.size());
+  if (obs.size() < 3) return fix;
+
+  fix.solver_fix = multilaterate(obs, config_.solver);
+  fix.position = fix.solver_fix.position;
+  fix.error_m = geom::distance(fix.position, tag_position);
+  fix.ok = fix.solver_fix.converged;
+  return fix;
+}
+
+}  // namespace uwb::loc

@@ -1,0 +1,50 @@
+// Anchor-based localisation using concurrent ranging (paper future work).
+//
+// A mobile tag acts as the concurrent-ranging initiator; fixed anchors are
+// the responders. One ranging round yields a distance to every anchor, and
+// multilateration turns those into a position fix — one TX and one RX per
+// fix instead of 2*(N_anchors) messages with scheduled SS-TWR.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "loc/multilateration.hpp"
+#include "ranging/session.hpp"
+
+namespace uwb::loc {
+
+struct AnchorSystemConfig {
+  /// Scenario template: responders are the anchors. Tag position is set per
+  /// fix via locate().
+  ranging::ScenarioConfig scenario;
+  SolverOptions solver;
+};
+
+struct Fix {
+  bool ok = false;
+  geom::Vec2 position;
+  /// Distance from the true tag position (evaluation convenience).
+  double error_m = 0.0;
+  /// Number of anchors whose distance was decoded this round.
+  int anchors_used = 0;
+  PositionFix solver_fix;
+  ranging::RoundOutcome round;
+};
+
+class AnchorLocalizer {
+ public:
+  explicit AnchorLocalizer(AnchorSystemConfig config);
+
+  /// Run one concurrent-ranging round with the tag at `tag_position` and
+  /// multilaterate a fix from the decoded anchor distances.
+  Fix locate(geom::Vec2 tag_position);
+
+  ranging::ConcurrentRangingScenario& scenario() { return *scenario_; }
+
+ private:
+  AnchorSystemConfig config_;
+  std::unique_ptr<ranging::ConcurrentRangingScenario> scenario_;
+};
+
+}  // namespace uwb::loc

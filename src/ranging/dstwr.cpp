@@ -1,0 +1,141 @@
+#include "ranging/dstwr.hpp"
+
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+
+namespace uwb::ranging {
+
+double ds_twr_tof_s(const DsTwrTimestamps& ts) {
+  const double ra = ts.t_rx_resp.diff_seconds(ts.t_tx_poll);
+  const double da = ts.t_tx_final.diff_seconds(ts.t_rx_resp);
+  const double rb = ts.t_rx_final.diff_seconds(ts.t_tx_resp);
+  const double db = ts.t_tx_resp.diff_seconds(ts.t_rx_poll);
+  UWB_EXPECTS(ra > 0.0 && da > 0.0 && rb > 0.0 && db > 0.0);
+  return (ra * rb - da * db) / (ra + rb + da + db);
+}
+
+double ds_twr_distance(const DsTwrTimestamps& ts) {
+  return ds_twr_tof_s(ts) * k::c_air;
+}
+
+DsTwrSession::DsTwrSession(DsTwrSessionConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  UWB_EXPECTS(config_.response_delay_s > 0.0);
+  medium_ = std::make_unique<sim::Medium>(
+      sim_, channel::ChannelModel(config_.room, config_.channel),
+      config_.medium, rng_.fork());
+
+  const auto make_node = [&](int id, geom::Vec2 pos) {
+    sim::NodeConfig nc;
+    nc.id = id;
+    nc.position = pos;
+    nc.clock_epoch_offset = SimTime::from_seconds(rng_.uniform(0.0, 17.0));
+    nc.drift_ppm = rng_.normal(0.0, config_.clock_drift_sigma_ppm);
+    nc.phy = config_.phy;
+    nc.cir = config_.cir;
+    nc.timestamping = config_.timestamping;
+    nc.delayed_tx_truncation = config_.delayed_tx_truncation;
+    return std::make_unique<sim::Node>(sim_, *medium_, nc, rng_.fork());
+  };
+  initiator_ = make_node(0, config_.initiator_position);
+  responder_ = make_node(1, config_.responder_position);
+
+  // Responder: answer POLL with a delayed RESP, then listen for FINAL and
+  // close the exchange.
+  responder_->set_rx_handler([this](const sim::RxResult& r) {
+    if (!r.frame) return;
+    if (r.frame->type == dw::FrameType::Init) {
+      ts_.t_rx_poll = r.rx_timestamp;
+      const dw::DwTimestamp target =
+          r.rx_timestamp.plus_seconds(config_.response_delay_s);
+      const dw::DwTimestamp actual = responder_->delayed_tx_time(target);
+      ts_.t_tx_resp = actual;
+      dw::MacFrame resp;
+      resp.type = dw::FrameType::Resp;
+      resp.src = 1;
+      resp.rx_timestamp = ts_.t_rx_poll;
+      resp.tx_timestamp = actual;
+      responder_->schedule_delayed_tx(resp, actual);
+      // Re-enter RX once the RESP is fully transmitted, in time for the
+      // FINAL. The RMARKER sits after the SHR, so the frame ends RMARKER +
+      // (PHR + payload) later.
+      const SimTime resp_end =
+          responder_->clock().global_time_of(actual, sim_.now()) +
+          SimTime::from_seconds(
+              config_.phy.frame_duration_s(resp.payload_bytes()) -
+              config_.phy.shr_duration_s());
+      sim_.at(resp_end + SimTime::from_micros(5.0), [this]() {
+        if (!responder_->in_rx()) responder_->enter_rx();
+      });
+      return;
+    }
+    if (r.frame->type == dw::FrameType::Final) {
+      ts_.t_rx_final = r.rx_timestamp;
+      ts_.t_rx_resp = r.frame->rx_timestamp;
+      ts_.t_tx_final = r.frame->tx_timestamp;
+      ts_.t_tx_poll = r.frame->aux_timestamp;
+      final_received_ = true;
+    }
+  });
+
+  // Initiator: on RESP, send the FINAL with all initiator-side timestamps.
+  initiator_->set_rx_handler([this](const sim::RxResult& r) {
+    if (!r.frame || r.frame->type != dw::FrameType::Resp) return;
+    const dw::DwTimestamp t_rx_resp = r.rx_timestamp;
+    const dw::DwTimestamp target =
+        t_rx_resp.plus_seconds(config_.response_delay_s);
+    const dw::DwTimestamp actual = initiator_->delayed_tx_time(target);
+    dw::MacFrame fin;
+    fin.type = dw::FrameType::Final;
+    fin.src = 0;
+    fin.rx_timestamp = t_rx_resp;
+    fin.tx_timestamp = actual;
+    fin.aux_timestamp = ts_.t_tx_poll;
+    initiator_->schedule_delayed_tx(fin, actual);
+  });
+}
+
+DsTwrSession::~DsTwrSession() = default;
+
+double DsTwrSession::true_distance() const {
+  return geom::distance(config_.initiator_position, config_.responder_position);
+}
+
+DsTwrResult DsTwrSession::run_round() {
+  final_received_ = false;
+  ts_ = DsTwrTimestamps{};
+
+  const SimTime t0 = sim_.now() + SimTime::from_micros(50.0);
+  sim_.at(t0, [this]() {
+    if (!responder_->in_rx()) responder_->enter_rx();
+  });
+
+  dw::MacFrame poll;
+  poll.type = dw::FrameType::Init;
+  const double poll_airtime =
+      config_.phy.frame_duration_s(poll.payload_bytes());
+  sim_.at(t0 + SimTime::from_micros(20.0), [this, poll]() {
+    initiator_->exit_rx();
+    ts_.t_tx_poll = initiator_->transmit_now(poll);
+  });
+  sim_.at(t0 + SimTime::from_micros(20.0) + SimTime::from_seconds(poll_airtime) +
+              SimTime::from_micros(5.0),
+          [this]() { initiator_->enter_rx(); });
+
+  // POLL + RESP + FINAL: two response delays plus three frame airtimes.
+  const SimTime deadline =
+      t0 + SimTime::from_seconds(2.0 * config_.response_delay_s) +
+      SimTime::from_micros(2000.0);
+  sim_.run_until(deadline);
+
+  DsTwrResult result;
+  initiator_->exit_rx();
+  responder_->exit_rx();
+  if (!final_received_) return result;
+  result.ok = true;
+  result.timestamps = ts_;
+  result.distance_m = ds_twr_distance(ts_);
+  return result;
+}
+
+}  // namespace uwb::ranging

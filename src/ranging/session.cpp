@@ -1,0 +1,188 @@
+#include "ranging/session.hpp"
+
+#include <algorithm>
+
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+
+namespace uwb::ranging {
+
+namespace {
+constexpr int kInitiatorId = -1;
+
+DetectorConfig make_detector_config(const ConcurrentRangingConfig& ranging) {
+  DetectorConfig det = ranging.detector;
+  det.shape_registers = ranging.shape_registers;
+  return det;
+}
+}  // namespace
+
+ConcurrentRangingScenario::ConcurrentRangingScenario(ScenarioConfig config)
+    : config_(std::move(config)), rng_(config_.seed),
+      detector_(make_detector_config(config_.ranging)) {
+  config_.ranging.validate();
+  UWB_EXPECTS(!config_.responders.empty());
+
+  medium_ = std::make_unique<sim::Medium>(
+      sim_, channel::ChannelModel(config_.room, config_.channel),
+      config_.medium, rng_.fork());
+
+  const auto make_node_config = [&](int id, geom::Vec2 pos) {
+    sim::NodeConfig nc;
+    nc.id = id;
+    nc.position = pos;
+    nc.clock_epoch_offset =
+        SimTime::from_seconds(rng_.uniform(0.0, 17.0));
+    nc.drift_ppm = rng_.normal(0.0, config_.clock_drift_sigma_ppm);
+    nc.phy = config_.phy;
+    nc.cir = config_.cir;
+    nc.timestamping = config_.timestamping;
+    nc.delayed_tx_truncation = config_.delayed_tx_truncation;
+    nc.antenna_delay_s = config_.antenna_delay_s;
+    return nc;
+  };
+
+  initiator_ = std::make_unique<sim::Node>(
+      sim_, *medium_, make_node_config(kInitiatorId, config_.initiator_position),
+      rng_.fork());
+  initiator_->set_rx_handler(
+      [this](const sim::RxResult& r) { initiator_result_ = r; });
+
+  for (const ResponderSpec& spec : config_.responders) {
+    UWB_EXPECTS(spec.id >= 0 && spec.id <= 255);
+    auto nc = make_node_config(spec.id, spec.position);
+    nc.phy.tc_pgdelay =
+        assign_responder(spec.id, config_.ranging).shape_register;
+    auto node = std::make_unique<sim::Node>(sim_, *medium_, nc, rng_.fork());
+    const auto [it, inserted] = responders_.emplace(spec.id, std::move(node));
+    UWB_EXPECTS(inserted);
+    (void)it;
+    arm_responder(spec.id);
+  }
+}
+
+ConcurrentRangingScenario::~ConcurrentRangingScenario() = default;
+
+sim::Node& ConcurrentRangingScenario::responder_node(int responder_id) {
+  const auto it = responders_.find(responder_id);
+  UWB_EXPECTS(it != responders_.end());
+  return *it->second;
+}
+
+double ConcurrentRangingScenario::true_distance(int responder_id) const {
+  const auto it = responders_.find(responder_id);
+  UWB_EXPECTS(it != responders_.end());
+  return geom::distance(config_.initiator_position, it->second->position());
+}
+
+void ConcurrentRangingScenario::set_initiator_position(geom::Vec2 position) {
+  config_.initiator_position = position;
+  initiator_->set_position(position);
+}
+
+void ConcurrentRangingScenario::arm_responder(int responder_id) {
+  sim::Node& node = *responders_.at(responder_id);
+  node.set_rx_handler([this, responder_id, &node](const sim::RxResult& r) {
+    if (!r.frame || r.frame->type != dw::FrameType::Init) return;
+    const SlotAssignment a =
+        assign_responder(responder_id, config_.ranging);
+    const dw::DwTimestamp target = r.rx_timestamp.plus_seconds(
+        config_.ranging.response_delay_s + a.extra_delay_s);
+    const dw::DwTimestamp actual = node.delayed_tx_time(target);
+
+    dw::MacFrame resp;
+    resp.type = dw::FrameType::Resp;
+    resp.src = static_cast<std::uint16_t>(responder_id);
+    resp.responder_id = static_cast<std::uint8_t>(responder_id);
+    resp.rx_timestamp = r.rx_timestamp;
+    resp.tx_timestamp = actual;
+    node.schedule_delayed_tx(resp, actual);
+
+    ResponderTruth truth;
+    truth.id = responder_id;
+    truth.true_distance_m = true_distance(responder_id);
+    truth.resp_tx_rmarker = node.clock().global_time_of(actual, sim_.now());
+    truth.resp_arrival =
+        truth.resp_tx_rmarker +
+        SimTime::from_seconds(truth.true_distance_m / k::c_air);
+    truths_.push_back(truth);
+  });
+}
+
+RoundOutcome ConcurrentRangingScenario::run_round() {
+  initiator_result_.reset();
+  truths_.clear();
+
+  const SimTime t0 = sim_.now() + SimTime::from_micros(50.0);
+  for (auto& [id, node] : responders_) {
+    sim::Node* n = node.get();
+    sim_.at(t0, [n]() {
+      if (!n->in_rx()) n->enter_rx();
+    });
+  }
+
+  dw::MacFrame init;
+  init.type = dw::FrameType::Init;
+  const double init_airtime =
+      config_.phy.frame_duration_s(init.payload_bytes());
+
+  const SimTime t_tx = t0 + SimTime::from_micros(20.0);
+  sim_.at(t_tx, [this, init]() {
+    initiator_->exit_rx();
+    t_tx_init_ = initiator_->transmit_now(init);
+  });
+  sim_.at(t_tx + SimTime::from_seconds(init_airtime) + SimTime::from_micros(5.0),
+          [this]() { initiator_->enter_rx(); });
+
+  const double max_extra =
+      config_.ranging.num_slots > 1
+          ? (config_.ranging.num_slots - 1) * config_.ranging.slot_spacing_s
+          : 0.0;
+  const SimTime deadline =
+      t_tx + SimTime::from_seconds(config_.ranging.response_delay_s +
+                                   max_extra) +
+      SimTime::from_micros(5000.0);
+  sim_.run_until(deadline);
+
+  RoundOutcome out;
+  std::sort(truths_.begin(), truths_.end(),
+            [](const ResponderTruth& a, const ResponderTruth& b) {
+              return a.resp_arrival < b.resp_arrival;
+            });
+  out.truths = truths_;
+
+  if (!initiator_result_) {
+    initiator_->exit_rx();
+    return out;
+  }
+  const sim::RxResult& r = *initiator_result_;
+  out.completed = true;
+  out.cir = r.cir;
+  out.frames_in_batch = r.frames_in_batch;
+
+  if (!r.frame || r.frame->type != dw::FrameType::Resp) return out;
+  out.payload_decoded = true;
+  out.sync_responder_id = r.frame->responder_id;
+
+  TwrTimestamps ts;
+  ts.t_tx_init = t_tx_init_;
+  ts.t_rx_resp = r.frame->rx_timestamp;
+  ts.t_tx_resp = r.frame->tx_timestamp;
+  ts.t_rx_init = r.rx_timestamp;
+  out.d_twr_m = ss_twr_distance(
+      ts, config_.cfo_correction ? r.carrier_offset_ppm : 0.0);
+
+  const int max_responses = config_.detect_max_responses > 0
+                                ? config_.detect_max_responses
+                                : static_cast<int>(responders_.size());
+  out.detections = detector_.detect(r.cir.taps, r.cir.ts_s, max_responses);
+  const int sync_slot =
+      assign_responder(out.sync_responder_id, config_.ranging).slot;
+  out.estimates = interpret_responses(out.detections, config_.ranging,
+                                      out.d_twr_m, sync_slot);
+  if (config_.slot_aware_selection)
+    out.estimates = select_slot_responses(out.estimates, config_.ranging);
+  return out;
+}
+
+}  // namespace uwb::ranging

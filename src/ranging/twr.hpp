@@ -1,0 +1,40 @@
+// Single-sided two-way ranging (paper Sect. III, Eq. 2).
+//
+// d = c/2 * ((t_rx,init - t_tx,init) - (t_tx,resp - t_rx,resp))
+//
+// with an optional carrier-frequency-offset correction: the responder's
+// reply interval is measured on its own crystal, so the initiator rescales
+// it by the estimated relative drift (the standard DW1000 drift-compensation
+// technique; without it, ppm-level drift over the 290 us reply time turns
+// into decimetre errors).
+#pragma once
+
+#include "dw1000/clock.hpp"
+
+namespace uwb::ranging {
+
+struct TwrTimestamps {
+  dw::DwTimestamp t_tx_init;  // INIT RMARKER, initiator clock
+  dw::DwTimestamp t_rx_resp;  // INIT arrival, responder clock
+  dw::DwTimestamp t_tx_resp;  // RESP RMARKER, responder clock
+  dw::DwTimestamp t_rx_init;  // RESP arrival, initiator clock
+};
+
+/// SS-TWR distance [m]. `cfo_ppm` is the estimated responder-minus-initiator
+/// clock drift (0 disables the correction).
+double ss_twr_distance(const TwrTimestamps& ts, double cfo_ppm = 0.0);
+
+/// Time of flight [s] instead of distance.
+double ss_twr_tof_s(const TwrTimestamps& ts, double cfo_ppm = 0.0);
+
+/// Antenna-delay commissioning (Decawave APS014): with two identical
+/// uncalibrated devices a symmetric per-device antenna delay inflates every
+/// SS-TWR distance by c * delay. Estimate it from a known-distance link.
+double estimate_antenna_delay_s(double measured_m, double true_m);
+
+/// Remove two (possibly different) calibrated antenna delays from a
+/// measured SS-TWR distance.
+double correct_antenna_delay_m(double measured_m, double delay_a_s,
+                               double delay_b_s);
+
+}  // namespace uwb::ranging

@@ -1,0 +1,66 @@
+#include "ranging/xcorr_id.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "dsp/signal.hpp"
+
+namespace uwb::ranging {
+
+XcorrIdentifier::XcorrIdentifier(double window_s) : window_s_(window_s) {
+  UWB_EXPECTS(window_s > 0.0);
+}
+
+CVec XcorrIdentifier::extract_snippet(const CVec& cir_taps, double ts_s,
+                                      double tau_s, double window_s) {
+  UWB_EXPECTS(!cir_taps.empty());
+  UWB_EXPECTS(ts_s > 0.0);
+  const auto n = static_cast<std::ptrdiff_t>(cir_taps.size());
+  const auto centre = static_cast<std::ptrdiff_t>(std::llround(tau_s / ts_s));
+  const auto half = static_cast<std::ptrdiff_t>(std::ceil(window_s / ts_s));
+  CVec snippet;
+  for (std::ptrdiff_t i = centre - half; i <= centre + half; ++i)
+    snippet.push_back(i >= 0 && i < n ? cir_taps[static_cast<std::size_t>(i)]
+                                      : Complex{});
+  return dsp::normalize_energy(snippet);
+}
+
+void XcorrIdentifier::add_reference(int responder_id, const CVec& cir_taps,
+                                    double ts_s, double response_tau_s) {
+  UWB_EXPECTS(responder_id >= 0);
+  references_[responder_id] =
+      extract_snippet(cir_taps, ts_s, response_tau_s, window_s_);
+}
+
+XcorrIdentifier::Match XcorrIdentifier::identify(
+    const CVec& cir_taps, double ts_s, const DetectedResponse& response) const {
+  Match best;
+  if (references_.empty()) return best;
+  const CVec probe =
+      extract_snippet(cir_taps, ts_s, response.tau_s, window_s_);
+  const auto np = static_cast<std::ptrdiff_t>(probe.size());
+  // Small lag search (+-1/4 of the window) absorbs the TX-truncation shift.
+  const std::ptrdiff_t max_lag = np / 4;
+  for (const auto& [id, ref] : references_) {
+    for (std::ptrdiff_t lag = -max_lag; lag <= max_lag; ++lag) {
+      Complex acc{};
+      for (std::ptrdiff_t i = std::max<std::ptrdiff_t>(0, lag);
+           i < std::min(np, np + lag); ++i) {
+        const std::ptrdiff_t j = i - lag;
+        if (j < 0 || j >= static_cast<std::ptrdiff_t>(ref.size())) continue;
+        acc += probe[static_cast<std::size_t>(i)] *
+               std::conj(ref[static_cast<std::size_t>(j)]);
+      }
+      const double score = std::abs(acc);
+      if (score > best.score) {
+        best.score = score;
+        best.responder_id = id;
+      }
+    }
+  }
+  best.score = std::min(best.score, 1.0);
+  return best;
+}
+
+}  // namespace uwb::ranging

@@ -1,0 +1,55 @@
+// Cross-correlation responder identification — the feasibility study's
+// approach that the paper's open challenge II argues against.
+//
+// Corbalán & Picco suggested identifying responders by cross-correlating
+// the concurrent CIR against reference CIRs previously recorded for each
+// responder in isolation. The paper points out this breaks in practice: the
+// isolated CIR signature depends on the responder's position and the
+// surrounding environment, so any movement invalidates the references.
+// This implementation exists as a baseline so the failure mode can be
+// demonstrated quantitatively (bench_ablation_xcorr) against the paper's
+// pulse-shaping identification.
+#pragma once
+
+#include <map>
+
+#include "common/types.hpp"
+#include "ranging/detector.hpp"
+
+namespace uwb::ranging {
+
+class XcorrIdentifier {
+ public:
+  /// Half-width of the CIR neighbourhood compared around a response [s].
+  explicit XcorrIdentifier(double window_s = 15e-9);
+
+  /// Record a responder's reference signature from an isolated round:
+  /// the CIR segment around its detected response.
+  void add_reference(int responder_id, const CVec& cir_taps, double ts_s,
+                     double response_tau_s);
+
+  int reference_count() const { return static_cast<int>(references_.size()); }
+
+  struct Match {
+    int responder_id = -1;
+    /// Peak normalised cross-correlation in [0, 1].
+    double score = 0.0;
+  };
+
+  /// Identify the responder behind one detected response by the best
+  /// normalised cross-correlation against all references (with a small lag
+  /// search). Returns responder_id -1 when no references exist.
+  Match identify(const CVec& cir_taps, double ts_s,
+                 const DetectedResponse& response) const;
+
+  /// Extract the unit-energy CIR segment centred at tau (helper, exposed
+  /// for tests).
+  static CVec extract_snippet(const CVec& cir_taps, double ts_s, double tau_s,
+                              double window_s);
+
+ private:
+  double window_s_;
+  std::map<int, CVec> references_;  // unit-energy snippets
+};
+
+}  // namespace uwb::ranging

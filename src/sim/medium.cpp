@@ -1,0 +1,70 @@
+#include "sim/medium.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+#include "sim/node.hpp"
+
+namespace uwb::sim {
+
+Medium::Medium(Simulator& simulator, channel::ChannelModel model,
+               MediumParams params, Rng rng)
+    : sim_(simulator), model_(std::move(model)), params_(params),
+      rng_(std::move(rng)) {
+  UWB_EXPECTS(params.detection_threshold_amp >= 0.0);
+}
+
+void Medium::register_node(Node& node) {
+  const auto [it, inserted] = nodes_.emplace(node.id(), &node);
+  (void)it;
+  UWB_EXPECTS(inserted);  // ids must be unique
+}
+
+void Medium::transmit(int tx_node_id, const dw::MacFrame& frame,
+                      std::uint8_t tc_pgdelay, SimTime preamble_start,
+                      double shr_duration_s, double frame_duration_s,
+                      double tx_drift_ppm) {
+  const auto tx_it = nodes_.find(tx_node_id);
+  UWB_EXPECTS(tx_it != nodes_.end());
+  const geom::Vec2 tx_pos = tx_it->second->position();
+
+  for (auto& [rx_id, rx_node] : nodes_) {
+    if (rx_id == tx_node_id) continue;
+    channel::ChannelRealization ch =
+        model_.realize(tx_pos, rx_node->position(), rng_);
+
+    // The receiver's preamble detector locks to the earliest path that is
+    // strong enough; frames with no detectable path are out of range.
+    const channel::Tap* first = nullptr;
+    for (const channel::Tap& tap : ch.taps) {
+      if (std::abs(tap.amplitude) >= params_.detection_threshold_amp) {
+        first = &tap;
+        break;
+      }
+    }
+    if (first == nullptr) continue;
+
+    AirFrame af;
+    af.tx_node_id = tx_node_id;
+    af.frame = frame;
+    af.tc_pgdelay = tc_pgdelay;
+    af.tx_drift_ppm = tx_drift_ppm;
+    af.taps = ch.taps;
+    af.first_detectable_delay_s = first->delay_s;
+    af.first_path_amplitude = std::abs(first->amplitude);
+    af.preamble_start_arrival =
+        preamble_start + SimTime::from_seconds(first->delay_s);
+    af.rmarker_arrival =
+        af.preamble_start_arrival + SimTime::from_seconds(shr_duration_s);
+    af.frame_end_arrival =
+        af.preamble_start_arrival + SimTime::from_seconds(frame_duration_s);
+
+    Node* target = rx_node;
+    sim_.at(af.preamble_start_arrival,
+            [target, af = std::move(af)]() mutable {
+              target->on_air_frame(std::move(af));
+            });
+  }
+}
+
+}  // namespace uwb::sim

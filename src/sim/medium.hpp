@@ -1,0 +1,79 @@
+// Shared radio medium.
+//
+// Propagates every transmission to every other registered node through the
+// channel model (drawing a fresh channel realisation per link per frame) and
+// delivers an AirFrame carrying the full tap list. Receivers superpose
+// overlapping AirFrames into one CIR — the physical mechanism behind
+// concurrent ranging.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "channel/channel_model.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "dw1000/frame.hpp"
+#include "dw1000/phy_config.hpp"
+#include "sim/simulator.hpp"
+
+namespace uwb::sim {
+
+class Node;
+
+/// A frame as observed at one receiver: payload, per-path taps, and the
+/// arrival instants of the relevant frame landmarks.
+struct AirFrame {
+  int tx_node_id = -1;
+  dw::MacFrame frame;
+  std::uint8_t tc_pgdelay = 0x93;
+  /// TX crystal drift (ground truth, used for the receiver's carrier
+  /// frequency offset estimate).
+  double tx_drift_ppm = 0.0;
+  /// Channel taps (absolute propagation delays TX->RX).
+  std::vector<channel::Tap> taps;
+  /// Delay of the first path strong enough for the receiver to detect [s].
+  double first_detectable_delay_s = 0.0;
+  /// Amplitude magnitude of that first detectable path.
+  double first_path_amplitude = 0.0;
+  /// Global time the preamble's first detectable copy starts arriving.
+  SimTime preamble_start_arrival;
+  /// Global time that copy's preamble+SFD ends (RMARKER arrival).
+  SimTime rmarker_arrival;
+  /// Global time the whole frame has arrived.
+  SimTime frame_end_arrival;
+};
+
+struct MediumParams {
+  /// Minimum tap amplitude for the receiver's preamble detector to lock.
+  double detection_threshold_amp = 0.02;
+};
+
+class Medium {
+ public:
+  Medium(Simulator& simulator, channel::ChannelModel model, MediumParams params,
+         Rng rng);
+
+  /// Nodes register themselves on construction.
+  void register_node(Node& node);
+
+  /// Called by a transmitting node at the instant its preamble starts.
+  /// `frame_airtime_local_s` durations are in the transmitter's clock.
+  void transmit(int tx_node_id, const dw::MacFrame& frame,
+                std::uint8_t tc_pgdelay, SimTime preamble_start,
+                double shr_duration_s, double frame_duration_s,
+                double tx_drift_ppm);
+
+  const channel::ChannelModel& channel_model() const { return model_; }
+  Simulator& simulator() { return sim_; }
+
+ private:
+  Simulator& sim_;
+  channel::ChannelModel model_;
+  MediumParams params_;
+  Rng rng_;
+  std::map<int, Node*> nodes_;
+};
+
+}  // namespace uwb::sim

@@ -1,0 +1,175 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "common/units.hpp"
+
+namespace uwb::sim {
+
+namespace {
+/// Processing margin after the last sample of a frame before the receiver
+/// reports the result.
+const SimTime kFinalizeMargin = SimTime::from_micros(2.0);
+}  // namespace
+
+Node::Node(Simulator& simulator, Medium& medium, NodeConfig config, Rng rng)
+    : sim_(simulator), medium_(medium), config_(config),
+      clock_(config.clock_epoch_offset, config.drift_ppm), rng_(std::move(rng)) {
+  config_.phy.validate();
+  UWB_EXPECTS(config_.cir_anchor_taps >= 0 &&
+              config_.cir_anchor_taps < config_.cir.length);
+  medium_.register_node(*this);
+}
+
+SimTime Node::local_duration(double local_s) const {
+  return SimTime::from_seconds(local_s / (1.0 + config_.drift_ppm * 1e-6));
+}
+
+dw::DwTimestamp Node::device_now() const { return clock_.device_time(sim_.now()); }
+
+void Node::enter_rx() {
+  UWB_EXPECTS(!rx_enabled_);
+  rx_enabled_ = true;
+  rx_since_ = sim_.now();
+  pending_.clear();
+}
+
+void Node::exit_rx() {
+  if (!rx_enabled_) return;
+  energy_.add_rx((sim_.now() - rx_since_).seconds());
+  rx_enabled_ = false;
+  pending_.clear();
+}
+
+void Node::transmit_at(const dw::MacFrame& frame, SimTime preamble_start_global) {
+  const double shr_global =
+      local_duration(config_.phy.shr_duration_s()).seconds();
+  const double frame_global =
+      local_duration(config_.phy.frame_duration_s(frame.payload_bytes()))
+          .seconds();
+  // The wave leaves the antenna half the antenna delay after the digital
+  // timestamp reference (the other half applies on reception).
+  const SimTime radiated = preamble_start_global +
+                           SimTime::from_seconds(config_.antenna_delay_s / 2.0);
+  medium_.transmit(config_.id, frame, config_.phy.tc_pgdelay, radiated,
+                   shr_global, frame_global, config_.drift_ppm);
+  energy_.add_tx(frame_global);
+}
+
+dw::DwTimestamp Node::transmit_now(const dw::MacFrame& frame) {
+  UWB_EXPECTS(!rx_enabled_);
+  const SimTime preamble_start = sim_.now();
+  transmit_at(frame, preamble_start);
+  const SimTime rmarker =
+      preamble_start + local_duration(config_.phy.shr_duration_s());
+  return clock_.device_time(rmarker);
+}
+
+dw::DwTimestamp Node::delayed_tx_time(dw::DwTimestamp rmarker_target) const {
+  if (!config_.delayed_tx_truncation) return rmarker_target;
+  return dw::quantize_delayed_tx(rmarker_target);
+}
+
+void Node::schedule_delayed_tx(dw::MacFrame frame,
+                               dw::DwTimestamp quantized_rmarker) {
+  UWB_EXPECTS(quantized_rmarker == delayed_tx_time(quantized_rmarker));
+  const SimTime rmarker_global =
+      clock_.global_time_of(quantized_rmarker, sim_.now());
+  const SimTime preamble_start =
+      rmarker_global - local_duration(config_.phy.shr_duration_s());
+  UWB_EXPECTS(preamble_start >= sim_.now());
+  sim_.at(preamble_start, [this, frame = std::move(frame), preamble_start]() {
+    transmit_at(frame, preamble_start);
+  });
+}
+
+void Node::on_air_frame(AirFrame af) {
+  if (!rx_enabled_ || sim_.now() < rx_since_) return;
+  if (pending_.empty()) {
+    // Batch leader: the receiver locks on and reports once the frame ends.
+    sim_.at(af.frame_end_arrival + kFinalizeMargin, [this]() { finalize_batch(); });
+    pending_.push_back(std::move(af));
+    return;
+  }
+  // Later frames join the batch only if their preamble overlaps the
+  // leader's synchronisation header; otherwise the radio is busy and the
+  // frame is lost.
+  if (af.preamble_start_arrival <= pending_.front().rmarker_arrival)
+    pending_.push_back(std::move(af));
+}
+
+void Node::finalize_batch() {
+  if (!rx_enabled_ || pending_.empty()) return;
+
+  // Sync selection: earliest detectable preamble wins unless a much
+  // stronger overlapping frame captures the correlator.
+  const AirFrame* sync = &pending_.front();
+  for (const AirFrame& af : pending_) {
+    if (af.first_path_amplitude >
+        sync->first_path_amplitude * config_.capture_amplitude_ratio)
+      sync = &af;
+  }
+
+  // Superpose every tap of every batch frame into the CIR window anchored
+  // `cir_anchor_taps` before the sync frame's first path.
+  const double window_start_s =
+      sync->preamble_start_arrival.seconds() -
+      static_cast<double>(config_.cir_anchor_taps) * config_.cir.ts_s;
+  std::vector<dw::CirArrival> arrivals;
+  for (const AirFrame& af : pending_) {
+    const double tx_ref_s =
+        af.preamble_start_arrival.seconds() - af.first_detectable_delay_s;
+    for (const channel::Tap& tap : af.taps) {
+      dw::CirArrival a;
+      a.time_into_window_s = tx_ref_s + tap.delay_s - window_start_s;
+      a.amplitude = tap.amplitude;
+      a.tc_pgdelay = af.tc_pgdelay;
+      arrivals.push_back(a);
+    }
+  }
+
+  RxResult result;
+  result.cir = dw::synthesize_cir(arrivals, config_.cir, rng_);
+  result.cir.first_path_index = static_cast<double>(config_.cir_anchor_taps);
+  result.rx_timestamp =
+      dw::noisy_rx_timestamp(config_.timestamping, sync->tc_pgdelay,
+                             clock_.device_time(sync->rmarker_arrival), rng_)
+          .plus_seconds(config_.antenna_delay_s / 2.0);
+  result.carrier_offset_ppm = sync->tx_drift_ppm - config_.drift_ppm +
+                              rng_.normal(0.0, config_.cfo_noise_ppm);
+  result.frames_in_batch = static_cast<int>(pending_.size());
+  result.sync_tx_node_id = sync->tx_node_id;
+  result.completed_at = sim_.now();
+
+  // Payload decode: the sync frame survives if its first-path power clears
+  // the configured SIR against the strongest other frame. (Concurrent RESP
+  // payloads are chip-offset copies, so corruption is dominated by the
+  // strongest colliding frame rather than the incoherent sum — consistent
+  // with the paper's observation that one payload stays decodable even with
+  // several equal-power responders.)
+  const auto frame_power = [](const AirFrame& af) {
+    double p = 0.0;
+    for (const channel::Tap& tap : af.taps) p += std::norm(tap.amplitude);
+    return p;
+  };
+  double interference = 0.0;
+  for (const AirFrame& af : pending_) {
+    if (&af == sync) continue;
+    interference = std::max(interference, frame_power(af));
+  }
+  const double sync_power = frame_power(*sync);
+  const bool decodable =
+      interference == 0.0 ||
+      linear_to_db(sync_power / interference) >= config_.decode_min_sir_db;
+  if (decodable) result.frame = sync->frame;
+
+  energy_.add_rx((sim_.now() - rx_since_).seconds());
+  rx_enabled_ = false;
+  pending_.clear();
+
+  if (rx_handler_) rx_handler_(result);
+}
+
+}  // namespace uwb::sim

@@ -1,0 +1,32 @@
+#include "sim/simulator.hpp"
+
+#include "common/expects.hpp"
+
+namespace uwb::sim {
+
+void Simulator::at(SimTime t, Action fn) {
+  UWB_EXPECTS(t >= now_);
+  UWB_EXPECTS(fn != nullptr);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::dispatch_one() {
+  // Moving out of the priority queue requires a const_cast-free copy; take
+  // the action by move from a mutable reference to the top element.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++dispatched_;
+  ev.fn();
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) dispatch_one();
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) dispatch_one();
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace uwb::sim

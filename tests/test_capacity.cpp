@@ -1,0 +1,211 @@
+// Unit tests: scalability / capacity analysis (paper Sect. III & VIII).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+#include "ranging/session.hpp"
+#include "ranging/capacity.hpp"
+
+namespace uwb::ranging {
+namespace {
+
+TEST(CapacityTest, CirSpanIsAbout1017ns) {
+  // Paper Sect. VII: 1016 samples * 1.0016 ns -> delta_max ~= 1017 ns.
+  dw::PhyConfig phy;
+  EXPECT_NEAR(cir_max_offset_s(phy), 1017e-9, 1e-9);
+}
+
+TEST(CapacityTest, MaxOffsetDistanceIsAbout305m) {
+  // Paper rounds delta_max * c to ~307 m; the exact figure for 1016 taps at
+  // 1.0016 ns and c_air is 305.0 m.
+  dw::PhyConfig phy;
+  EXPECT_NEAR(cir_max_offset_s(phy) * 299'702'547.0, 305.0, 1.0);
+}
+
+TEST(CapacityTest, PaperSlotCountAt75m) {
+  // Paper Sect. VIII: r_max > 75 m -> N_RPM ~= 4.
+  dw::PhyConfig phy;
+  EXPECT_EQ(rpm_slots_paper(phy, 75.0), 4);
+}
+
+TEST(CapacityTest, AliasingFreeHalvesSlots) {
+  // Responses traverse both legs; the guaranteed-unambiguous count is half.
+  dw::PhyConfig phy;
+  EXPECT_EQ(rpm_slots_aliasing_free(phy, 75.0), 2);
+  EXPECT_EQ(rpm_slots_aliasing_free(phy, 20.0),
+            rpm_slots_paper(phy, 40.0));
+}
+
+TEST(CapacityTest, Above1500UsersAt20m) {
+  // Paper Sect. VIII: r_max = 20 m and the full shape bank (108 registers)
+  // -> more than 1500 users.
+  dw::PhyConfig phy;
+  const int slots = rpm_slots_paper(phy, 20.0);
+  EXPECT_GE(slots, 15);
+  EXPECT_GT(max_concurrent_responders(slots, uwb::k::num_pulse_shapes), 1500);
+}
+
+TEST(CapacityTest, Fig8Configuration) {
+  EXPECT_EQ(max_concurrent_responders(4, 3), 12);
+}
+
+TEST(CapacityTest, MessageCounts) {
+  // Paper Sect. III: N(N-1) scheduled messages vs N concurrent.
+  EXPECT_EQ(twr_message_count(2), 2);
+  EXPECT_EQ(twr_message_count(10), 90);
+  EXPECT_EQ(concurrent_message_count(10), 10);
+  EXPECT_EQ(twr_message_count(40), 1560);
+  EXPECT_EQ(concurrent_message_count(40), 40);
+  EXPECT_THROW(twr_message_count(1), PreconditionError);
+}
+
+TEST(CapacityTest, InitiatorMessageOps) {
+  dw::PhyConfig phy;
+  dw::EnergyModelParams energy;
+  const auto twr = twr_round_cost(9, phy, 290e-6, energy);
+  const auto conc = concurrent_round_cost(9, phy, 290e-6, energy);
+  EXPECT_EQ(twr.initiator_messages, 18);  // 2 * (N-1)
+  EXPECT_EQ(conc.initiator_messages, 2);  // 1 TX + 1 RX
+}
+
+TEST(CapacityTest, ConcurrentInitiatorEnergyFlatInN) {
+  dw::PhyConfig phy;
+  dw::EnergyModelParams energy;
+  const auto c3 = concurrent_round_cost(3, phy, 290e-6, energy);
+  const auto c30 = concurrent_round_cost(30, phy, 290e-6, energy);
+  EXPECT_DOUBLE_EQ(c3.initiator_j, c30.initiator_j);
+}
+
+TEST(CapacityTest, TwrInitiatorEnergyLinearInN) {
+  dw::PhyConfig phy;
+  dw::EnergyModelParams energy;
+  const auto t1 = twr_round_cost(1, phy, 290e-6, energy);
+  const auto t10 = twr_round_cost(10, phy, 290e-6, energy);
+  EXPECT_NEAR(t10.initiator_j, 10.0 * t1.initiator_j, 1e-12);
+}
+
+TEST(CapacityTest, ConcurrentBeatsTwrForMultipleNeighbors) {
+  dw::PhyConfig phy;
+  dw::EnergyModelParams energy;
+  for (int n : {2, 5, 10, 50}) {
+    const auto twr = twr_round_cost(n, phy, 290e-6, energy);
+    const auto conc = concurrent_round_cost(n, phy, 290e-6, energy);
+    EXPECT_LT(conc.initiator_j, twr.initiator_j) << "n=" << n;
+    EXPECT_LT(conc.network_j, twr.network_j) << "n=" << n;
+  }
+}
+
+TEST(CapacityTest, PerResponderCostIdenticalAcrossSchemes) {
+  // A responder does one RX + one TX in both schemes.
+  dw::PhyConfig phy;
+  dw::EnergyModelParams energy;
+  EXPECT_DOUBLE_EQ(twr_round_cost(5, phy, 290e-6, energy).per_responder_j,
+                   concurrent_round_cost(5, phy, 290e-6, energy).per_responder_j);
+}
+
+TEST(RpmPlanTest, IndoorDeployment) {
+  // 20 m operating range, 60 ns delay spread, 9 responders (the Fig. 8
+  // scenario scaled): needs few shapes, many slots.
+  dw::PhyConfig phy;
+  const RpmPlan plan = plan_rpm(phy, 20.0, 60e-9, 9);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GE(plan.num_slots, 4);
+  EXPECT_LE(plan.num_pulse_shapes, 3);
+  EXPECT_GE(plan.capacity, 9);
+  EXPECT_EQ(plan.shape_registers.size(),
+            static_cast<std::size_t>(plan.num_pulse_shapes));
+  // Slot spacing covers the aliasing-free width.
+  EXPECT_GE(plan.slot_spacing_s, 2.0 * 20.0 / 299'702'547.0 + 60e-9 - 1e-12);
+}
+
+TEST(RpmPlanTest, SlotWidthGrowsWithRange) {
+  dw::PhyConfig phy;
+  const RpmPlan near = plan_rpm(phy, 10.0, 30e-9, 4);
+  const RpmPlan far = plan_rpm(phy, 60.0, 30e-9, 4);
+  ASSERT_TRUE(near.feasible);
+  ASSERT_TRUE(far.feasible);
+  EXPECT_GT(near.num_slots, far.num_slots);
+  EXPECT_GT(far.slot_spacing_s, near.slot_spacing_s);
+}
+
+TEST(RpmPlanTest, ManyRespondersNeedMoreShapes) {
+  dw::PhyConfig phy;
+  const RpmPlan plan = plan_rpm(phy, 20.0, 60e-9, 100);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GE(plan.capacity, 100);
+  EXPECT_GT(plan.num_pulse_shapes, 10);
+  // Registers stay within the legal range and are strictly increasing.
+  for (std::size_t i = 1; i < plan.shape_registers.size(); ++i)
+    EXPECT_GT(plan.shape_registers[i], plan.shape_registers[i - 1]);
+  EXPECT_EQ(plan.shape_registers.front(), uwb::k::tc_pgdelay_default);
+  EXPECT_LE(plan.shape_registers.back(), uwb::k::tc_pgdelay_max);
+}
+
+TEST(RpmPlanTest, InfeasibleWhenSpreadExceedsCir) {
+  // A 200 m range cannot fit even one aliasing-free slot in the ~1017 ns CIR.
+  dw::PhyConfig phy;
+  EXPECT_FALSE(plan_rpm(phy, 200.0, 0.0, 2).feasible);
+}
+
+TEST(RpmPlanTest, InfeasibleWhenTooManyResponders) {
+  dw::PhyConfig phy;
+  // 2 slots at 75 m; 109 shapes max -> capacity ~218 < 10000.
+  EXPECT_FALSE(plan_rpm(phy, 75.0, 100e-9, 10000).feasible);
+}
+
+TEST(RpmPlanTest, SingleResponderUsesDefaultShape) {
+  dw::PhyConfig phy;
+  const RpmPlan plan = plan_rpm(phy, 15.0, 40e-9, 1);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.num_pulse_shapes, 1);
+  ASSERT_EQ(plan.shape_registers.size(), 1u);
+  EXPECT_EQ(plan.shape_registers[0], uwb::k::tc_pgdelay_default);
+}
+
+TEST(RpmPlanTest, PlanWorksEndToEnd) {
+  // Feed a generated plan into a live scenario: the distances must decode.
+  dw::PhyConfig phy;
+  const RpmPlan plan = plan_rpm(phy, 16.0, 60e-9, 6);
+  ASSERT_TRUE(plan.feasible);
+  ScenarioConfig cfg;
+  cfg.room = geom::Room::rectangular(16.0, 10.0, 10.0);
+  cfg.initiator_position = {1.0, 5.0};
+  cfg.seed = 77;
+  cfg.ranging.num_slots = plan.num_slots;
+  cfg.ranging.slot_spacing_s = plan.slot_spacing_s;
+  cfg.ranging.shape_registers = plan.shape_registers;
+  cfg.responders = {{0, {4.0, 5.0}}, {1, {7.0, 3.0}}, {2, {10.0, 7.0}},
+                    {3, {12.0, 4.0}}, {4, {6.0, 7.0}}, {5, {9.0, 2.5}}};
+  ConcurrentRangingScenario scenario(cfg);
+  const auto out = scenario.run_round();
+  ASSERT_TRUE(out.payload_decoded);
+  int accurate = 0;
+  for (const auto& est : out.estimates) {
+    if (est.responder_id < 0 || est.responder_id > 5) continue;
+    if (std::abs(est.distance_m - scenario.true_distance(est.responder_id)) <
+        1.0)
+      ++accurate;
+  }
+  EXPECT_GE(accurate, 5);
+}
+
+TEST(RpmPlanTest, InvalidInputsThrow) {
+  dw::PhyConfig phy;
+  EXPECT_THROW(plan_rpm(phy, 0.0, 0.0, 1), PreconditionError);
+  EXPECT_THROW(plan_rpm(phy, 10.0, -1.0, 1), PreconditionError);
+  EXPECT_THROW(plan_rpm(phy, 10.0, 0.0, 0), PreconditionError);
+}
+
+TEST(CapacityTest, InvalidInputsThrow) {
+  dw::PhyConfig phy;
+  dw::EnergyModelParams energy;
+  EXPECT_THROW(rpm_slots_paper(phy, 0.0), PreconditionError);
+  EXPECT_THROW(max_concurrent_responders(0, 3), PreconditionError);
+  EXPECT_THROW(twr_round_cost(0, phy, 290e-6, energy), PreconditionError);
+  EXPECT_THROW(concurrent_round_cost(3, phy, 0.0, energy), PreconditionError);
+}
+
+}  // namespace
+}  // namespace uwb::ranging

@@ -1,0 +1,216 @@
+// Unit tests: path loss, Saleh-Valenzuela diffuse tail, channel realisation
+// (the paper's Eq. 1 channel model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/channel_model.hpp"
+#include "channel/path_loss.hpp"
+#include "channel/saleh_valenzuela.hpp"
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+#include "common/units.hpp"
+
+namespace uwb::channel {
+namespace {
+
+TEST(PathLossTest, FriisKnownValue) {
+  // Free space at 1 m, 6.4896 GHz: 20 log10(4 pi d f / c) ~= 48.7 dB.
+  const double loss = friis_loss_db(1.0, 6489.6e6);
+  EXPECT_NEAR(loss, 48.7, 0.2);
+  // +20 dB per decade of distance.
+  EXPECT_NEAR(friis_loss_db(10.0, 6489.6e6) - loss, 20.0, 1e-9);
+  EXPECT_THROW(friis_loss_db(0.0, 1e9), PreconditionError);
+}
+
+TEST(PathLossTest, LogDistanceSlope) {
+  const double l1 = log_distance_loss_db(1.0, 1.8, 40.0);
+  EXPECT_DOUBLE_EQ(l1, 40.0);
+  EXPECT_NEAR(log_distance_loss_db(10.0, 1.8, 40.0) - l1, 18.0, 1e-12);
+  EXPECT_NEAR(log_distance_loss_db(100.0, 2.0, 40.0), 80.0, 1e-9);
+}
+
+TEST(PathLossTest, LossToAmplitude) {
+  EXPECT_DOUBLE_EQ(loss_db_to_amplitude(0.0), 1.0);
+  EXPECT_NEAR(loss_db_to_amplitude(20.0), 0.1, 1e-12);
+  EXPECT_NEAR(loss_db_to_amplitude(6.0), 0.501, 1e-3);
+}
+
+TEST(SalehValenzuelaTest, TotalPowerNearTarget) {
+  SalehValenzuelaParams params;
+  params.total_power_rel_db = -6.0;
+  Rng rng(1);
+  // Average realised diffuse power over many draws ~= target.
+  double total = 0.0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    for (const DiffuseRay& ray : draw_diffuse_tail(params, rng))
+      total += std::norm(ray.amplitude);
+  }
+  EXPECT_NEAR(total / n, db_to_linear(-6.0), 0.1);
+}
+
+TEST(SalehValenzuelaTest, DelaysWithinWindow) {
+  SalehValenzuelaParams params;
+  params.window_s = 80e-9;
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    for (const DiffuseRay& ray : draw_diffuse_tail(params, rng)) {
+      EXPECT_GT(ray.excess_delay_s, 0.0);
+      EXPECT_LE(ray.excess_delay_s, params.window_s);
+    }
+  }
+}
+
+TEST(SalehValenzuelaTest, PowerDecaysWithDelay) {
+  SalehValenzuelaParams params;
+  Rng rng(3);
+  // Average power in the first third vs the last third of the window.
+  double early = 0.0, late = 0.0;
+  int early_n = 0, late_n = 0;
+  for (int i = 0; i < 500; ++i) {
+    for (const DiffuseRay& ray : draw_diffuse_tail(params, rng)) {
+      if (ray.excess_delay_s < params.window_s / 3.0) {
+        early += std::norm(ray.amplitude);
+        ++early_n;
+      } else if (ray.excess_delay_s > 2.0 * params.window_s / 3.0) {
+        late += std::norm(ray.amplitude);
+        ++late_n;
+      }
+    }
+  }
+  ASSERT_GT(early_n, 100);
+  ASSERT_GT(late_n, 100);
+  EXPECT_GT(early / early_n, 3.0 * (late / late_n));
+}
+
+TEST(SalehValenzuelaTest, InvalidParamsThrow) {
+  SalehValenzuelaParams params;
+  params.window_s = 0.0;
+  Rng rng(4);
+  EXPECT_THROW(draw_diffuse_tail(params, rng), PreconditionError);
+}
+
+class ChannelModelTest : public ::testing::Test {
+ protected:
+  ChannelModelParams params_;
+  geom::Room room_ = geom::Room::rectangular(20.0, 10.0);
+};
+
+TEST_F(ChannelModelTest, LosDelayMatchesGeometry) {
+  ChannelModel model(room_, params_);
+  Rng rng(5);
+  const auto ch = model.realize({2.0, 5.0}, {12.0, 5.0}, rng);
+  EXPECT_NEAR(ch.los_delay_s, 10.0 / k::c_air, 1e-15);
+  ASSERT_FALSE(ch.taps.empty());
+  // First deterministic tap is the LOS at the geometric delay.
+  const Tap* los = nullptr;
+  for (const Tap& t : ch.taps)
+    if (t.deterministic && t.order == 0) {
+      los = &t;
+      break;
+    }
+  ASSERT_NE(los, nullptr);
+  EXPECT_NEAR(los->delay_s, ch.los_delay_s, 1e-15);
+}
+
+TEST_F(ChannelModelTest, TapsSortedByDelay) {
+  ChannelModel model(room_, params_);
+  Rng rng(6);
+  const auto ch = model.realize({3.0, 4.0}, {15.0, 7.0}, rng);
+  for (std::size_t i = 1; i < ch.taps.size(); ++i)
+    EXPECT_GE(ch.taps[i].delay_s, ch.taps[i - 1].delay_s);
+}
+
+TEST_F(ChannelModelTest, AmplitudeFallsWithDistance) {
+  params_.enable_diffuse = false;
+  params_.specular_fading_db = 0.0;
+  ChannelModel model(room_, params_);
+  Rng rng(7);
+  const auto near = model.realize({2.0, 5.0}, {5.0, 5.0}, rng);
+  const auto far = model.realize({2.0, 5.0}, {18.0, 5.0}, rng);
+  EXPECT_GT(std::abs(near.taps.front().amplitude),
+            std::abs(far.taps.front().amplitude));
+}
+
+TEST_F(ChannelModelTest, PathLossExponentRespected) {
+  params_.enable_diffuse = false;
+  params_.specular_fading_db = 0.0;
+  params_.max_reflection_order = 0;
+  params_.path_loss_exponent = 2.0;
+  ChannelModel model(room_, params_);
+  Rng rng(8);
+  const auto d1 = model.realize({1.0, 5.0}, {2.0, 5.0}, rng);   // 1 m
+  const auto d10 = model.realize({1.0, 5.0}, {11.0, 5.0}, rng); // 10 m
+  const double ratio =
+      std::abs(d1.taps.front().amplitude) / std::abs(d10.taps.front().amplitude);
+  EXPECT_NEAR(ratio, 10.0, 1e-6);  // n=2 -> amplitude ~ 1/d
+}
+
+TEST_F(ChannelModelTest, DiffuseTailAddsNonDeterministicTaps) {
+  ChannelModel model(room_, params_);
+  Rng rng(9);
+  const auto ch = model.realize({2.0, 5.0}, {10.0, 5.0}, rng);
+  int diffuse = 0;
+  for (const Tap& t : ch.taps)
+    if (!t.deterministic) ++diffuse;
+  EXPECT_GT(diffuse, 10);
+  // Diffuse taps never precede the LOS.
+  for (const Tap& t : ch.taps)
+    if (!t.deterministic) EXPECT_GE(t.delay_s, ch.los_delay_s);
+}
+
+TEST_F(ChannelModelTest, DisableDiffuseRemovesThem) {
+  params_.enable_diffuse = false;
+  ChannelModel model(room_, params_);
+  Rng rng(10);
+  for (const Tap& t : model.realize({2.0, 5.0}, {10.0, 5.0}, rng).taps)
+    EXPECT_TRUE(t.deterministic);
+}
+
+TEST_F(ChannelModelTest, ObstructedLosWeakerThanClear) {
+  params_.enable_diffuse = false;
+  params_.specular_fading_db = 0.0;
+  geom::Room blocked = room_;
+  blocked.add_obstacle({{{7.0, 0.0}, {7.0, 10.0}}, 20.0, "blocker"});
+  ChannelModel clear_model(room_, params_);
+  ChannelModel blocked_model(blocked, params_);
+  Rng rng(11);
+  const auto clear_ch = clear_model.realize({2.0, 5.0}, {12.0, 5.0}, rng);
+  const auto blocked_ch = blocked_model.realize({2.0, 5.0}, {12.0, 5.0}, rng);
+  EXPECT_NEAR(linear_to_db(std::norm(clear_ch.taps.front().amplitude) /
+                           std::norm(blocked_ch.taps.front().amplitude)),
+              20.0, 1e-6);
+}
+
+TEST_F(ChannelModelTest, NlosCanMakeMpcStrongerThanDirect) {
+  // The scenario motivating challenge IV: with a heavily obstructed direct
+  // path, a wall reflection dominates the CIR.
+  params_.enable_diffuse = false;
+  params_.specular_fading_db = 0.0;
+  geom::Room blocked = geom::Room::rectangular(20.0, 10.0, 3.0);
+  blocked.add_obstacle({{{7.0, 4.0}, {7.0, 6.0}}, 25.0, "cabinet"});
+  ChannelModel model(blocked, params_);
+  Rng rng(12);
+  const auto ch = model.realize({2.0, 5.0}, {12.0, 5.0}, rng);
+  const Tap& los = ch.taps.front();
+  double strongest_mpc = 0.0;
+  for (const Tap& t : ch.taps)
+    if (t.order >= 1) strongest_mpc = std::max(strongest_mpc, std::abs(t.amplitude));
+  EXPECT_GT(strongest_mpc, std::abs(los.amplitude));
+}
+
+TEST_F(ChannelModelTest, ZeroDistanceThrows) {
+  ChannelModel model(room_, params_);
+  Rng rng(13);
+  EXPECT_THROW(model.realize({2.0, 5.0}, {2.0, 5.0}, rng), PreconditionError);
+}
+
+TEST_F(ChannelModelTest, InvalidParamsThrow) {
+  ChannelModelParams bad;
+  bad.max_reflection_order = 5;
+  EXPECT_THROW(ChannelModel(room_, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace uwb::channel

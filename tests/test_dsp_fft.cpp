@@ -1,0 +1,177 @@
+// Unit tests: FFT (radix-2 + Bluestein) and FFT upsampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+#include "common/random.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/resample.hpp"
+
+namespace uwb::dsp {
+namespace {
+
+CVec naive_dft(const CVec& x) {
+  const std::size_t n = x.size();
+  CVec out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      acc += x[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+double max_err(const CVec& a, const CVec& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+TEST(FftTest, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(1016));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(1016), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+  EXPECT_THROW(next_pow2(0), PreconditionError);
+}
+
+TEST(FftTest, ImpulseHasFlatSpectrum) {
+  CVec x(16, Complex{});
+  x[0] = 1.0;
+  const CVec spec = fft(x);
+  for (const auto& v : spec) EXPECT_NEAR(std::abs(v - Complex(1.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(FftTest, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  CVec x(n);
+  const int bin = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = 2.0 * std::numbers::pi * bin * static_cast<double>(i) / n;
+    x[i] = Complex(std::cos(ang), std::sin(ang));
+  }
+  const CVec spec = fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == bin)
+      EXPECT_NEAR(std::abs(spec[k]), static_cast<double>(n), 1e-9);
+    else
+      EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-9);
+  }
+}
+
+class FftLengthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftLengthTest, MatchesNaiveDft) {
+  Rng rng(GetParam());
+  CVec x(GetParam());
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  EXPECT_LT(max_err(fft(x), naive_dft(x)), 1e-8 * static_cast<double>(x.size()));
+}
+
+TEST_P(FftLengthTest, RoundTrip) {
+  Rng rng(GetParam() + 1000);
+  CVec x(GetParam());
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  EXPECT_LT(max_err(ifft(fft(x)), x), 1e-9);
+}
+
+TEST_P(FftLengthTest, ParsevalHolds) {
+  Rng rng(GetParam() + 2000);
+  CVec x(GetParam());
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  double time_e = 0.0;
+  for (const auto& v : x) time_e += std::norm(v);
+  double freq_e = 0.0;
+  for (const auto& v : fft(x)) freq_e += std::norm(v);
+  EXPECT_NEAR(freq_e / static_cast<double>(x.size()), time_e, 1e-8 * time_e + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftLengthTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 31, 64, 100, 127,
+                                           128, 254, 508,
+                                           static_cast<std::size_t>(
+                                               uwb::k::cir_len_prf64)));
+
+TEST(FftTest, EmptyInputThrows) {
+  EXPECT_THROW(fft(CVec{}), PreconditionError);
+  EXPECT_THROW(ifft(CVec{}), PreconditionError);
+}
+
+TEST(FftTest, NonPow2InplaceThrows) {
+  CVec x(12, Complex{1.0, 0.0});
+  EXPECT_THROW(fft_pow2_inplace(x, false), PreconditionError);
+}
+
+TEST(UpsampleTest, FactorOneIsIdentity) {
+  CVec x{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  EXPECT_EQ(upsample_fft(x, 1), x);
+}
+
+TEST(UpsampleTest, PreservesOriginalSamples) {
+  Rng rng(77);
+  CVec x(50);
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  for (int factor : {2, 4, 8}) {
+    const CVec y = upsample_fft(x, factor);
+    ASSERT_EQ(y.size(), x.size() * static_cast<std::size_t>(factor));
+    for (std::size_t i = 0; i < x.size(); ++i)
+      EXPECT_LT(std::abs(y[i * factor] - x[i]), 1e-9)
+          << "factor " << factor << " sample " << i;
+  }
+}
+
+TEST(UpsampleTest, InterpolatesBandlimitedSignalExactly) {
+  // A tone below Nyquist/2 must be reconstructed exactly at the new grid.
+  const std::size_t n = 64;
+  const int factor = 4;
+  const int bin = 3;
+  CVec x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = 2.0 * std::numbers::pi * bin * static_cast<double>(i) / n;
+    x[i] = Complex(std::cos(ang), 0.0);
+  }
+  const CVec y = upsample_fft(x, factor);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double t = static_cast<double>(i) / factor;
+    const double expected = std::cos(2.0 * std::numbers::pi * bin * t / n);
+    EXPECT_NEAR(y[i].real(), expected, 1e-9);
+    EXPECT_NEAR(y[i].imag(), 0.0, 1e-9);
+  }
+}
+
+TEST(UpsampleTest, RealInputStaysReal) {
+  Rng rng(88);
+  CVec x(uwb::k::cir_len_prf64);
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), 0.0};
+  for (const auto& v : upsample_fft(x, 8)) EXPECT_NEAR(v.imag(), 0.0, 1e-9);
+}
+
+TEST(UpsampleTest, OddLengthWorks) {
+  Rng rng(89);
+  CVec x(33);
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  const CVec y = upsample_fft(x, 3);
+  ASSERT_EQ(y.size(), 99u);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_LT(std::abs(y[i * 3] - x[i]), 1e-9);
+}
+
+TEST(UpsampleTest, InvalidArgsThrow) {
+  EXPECT_THROW(upsample_fft(CVec{}, 2), PreconditionError);
+  EXPECT_THROW(upsample_fft(CVec{{1, 0}}, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace uwb::dsp

@@ -1,0 +1,243 @@
+// Unit tests: signal helpers, matched filter, peak search, stats, windows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "common/random.hpp"
+#include "dsp/matched_filter.hpp"
+#include "dsp/peaks.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/stats.hpp"
+#include "dsp/window.hpp"
+
+namespace uwb::dsp {
+namespace {
+
+TEST(SignalTest, MagnitudeAndEnergy) {
+  const CVec x{{3.0, 4.0}, {0.0, 1.0}};
+  const RVec m = magnitude(x);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m[0], 5.0);
+  EXPECT_DOUBLE_EQ(m[1], 1.0);
+  EXPECT_DOUBLE_EQ(energy(x), 26.0);
+}
+
+TEST(SignalTest, NormalizeEnergy) {
+  CVec x{{2.0, 0.0}, {0.0, 2.0}};
+  const CVec y = normalize_energy(x);
+  EXPECT_NEAR(energy(y), 1.0, 1e-12);
+  // Zero signal unchanged.
+  const CVec z(4, Complex{});
+  EXPECT_EQ(normalize_energy(z), z);
+}
+
+TEST(SignalTest, NormalizePeak) {
+  CVec x{{0.5, 0.0}, {0.0, -4.0}, {1.0, 0.0}};
+  const CVec y = normalize_peak(x);
+  double peak = 0.0;
+  for (const auto& v : y) peak = std::max(peak, std::abs(v));
+  EXPECT_NEAR(peak, 1.0, 1e-12);
+}
+
+TEST(SignalTest, AddScaledShiftedInRange) {
+  CVec y(6, Complex{});
+  const CVec x{{1.0, 0.0}, {2.0, 0.0}};
+  add_scaled_shifted(y, x, Complex(2.0, 0.0), 3);
+  EXPECT_DOUBLE_EQ(y[3].real(), 2.0);
+  EXPECT_DOUBLE_EQ(y[4].real(), 4.0);
+  EXPECT_DOUBLE_EQ(y[5].real(), 0.0);
+}
+
+TEST(SignalTest, AddScaledShiftedClipsBothEnds) {
+  CVec y(3, Complex{});
+  const CVec x{{1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}};
+  add_scaled_shifted(y, x, Complex(1.0, 0.0), -1);  // x[1], x[2] land on y[0], y[1]
+  EXPECT_DOUBLE_EQ(y[0].real(), 1.0);
+  EXPECT_DOUBLE_EQ(y[1].real(), 1.0);
+  EXPECT_DOUBLE_EQ(y[2].real(), 0.0);
+  add_scaled_shifted(y, x, Complex(1.0, 0.0), 2);  // only x[0] fits
+  EXPECT_DOUBLE_EQ(y[2].real(), 1.0);
+  // Entirely out of range: no-op.
+  add_scaled_shifted(y, x, Complex(1.0, 0.0), 10);
+  add_scaled_shifted(y, x, Complex(1.0, 0.0), -10);
+  EXPECT_DOUBLE_EQ(y[0].real(), 1.0);
+}
+
+TEST(SignalTest, SampleAtInterpolates) {
+  const CVec x{{0.0, 0.0}, {2.0, 0.0}, {4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(sample_at(x, 0.5).real(), 1.0);
+  EXPECT_DOUBLE_EQ(sample_at(x, 1.75).real(), 3.5);
+  // Clamped outside the range.
+  EXPECT_DOUBLE_EQ(sample_at(x, -1.0).real(), 0.0);
+  EXPECT_DOUBLE_EQ(sample_at(x, 99.0).real(), 4.0);
+  EXPECT_THROW(sample_at(CVec{}, 0.0), PreconditionError);
+}
+
+TEST(MatchedFilterTest, NormalisesTemplate) {
+  MatchedFilter mf(CVec{{3.0, 0.0}, {4.0, 0.0}});
+  EXPECT_NEAR(energy(mf.unit_template()), 1.0, 1e-12);
+}
+
+TEST(MatchedFilterTest, PeakAtTemplateStart) {
+  // Signal = template placed at index 10; correlation must peak exactly there.
+  const CVec tmpl{{1.0, 0.0}, {2.0, 0.0}, {1.0, 0.0}};
+  CVec r(64, Complex{});
+  add_scaled_shifted(r, tmpl, Complex(1.0, 0.0), 10);
+  MatchedFilter mf(tmpl);
+  const CVec y = mf.apply(r);
+  ASSERT_EQ(y.size(), r.size());
+  EXPECT_EQ(argmax_abs(y), 10u);
+  // Peak value = ||s|| for a unit-placed raw template.
+  EXPECT_NEAR(std::abs(y[10]), std::sqrt(6.0), 1e-9);
+}
+
+TEST(MatchedFilterTest, ComplexAmplitudeRecovered) {
+  const CVec tmpl{{1.0, 0.0}, {2.0, 0.0}, {1.0, 0.0}};
+  const Complex amp{0.3, -0.7};
+  CVec r(32, Complex{});
+  add_scaled_shifted(r, tmpl, amp, 5);
+  MatchedFilter mf(tmpl);
+  const CVec y = mf.apply(r);
+  // y[peak] / ||s|| = amplitude.
+  const Complex est = y[5] / std::sqrt(6.0);
+  EXPECT_NEAR(std::abs(est - amp), 0.0, 1e-9);
+}
+
+TEST(MatchedFilterTest, FftPathMatchesDirect) {
+  Rng rng(5);
+  CVec tmpl(40);
+  for (auto& v : tmpl) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  CVec r(2048);  // large enough to trigger the FFT path
+  for (auto& v : r) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  MatchedFilter mf(tmpl);
+  const CVec fast = mf.apply(r);
+  const CVec direct = correlate_direct(r, mf.unit_template());
+  ASSERT_EQ(fast.size(), direct.size());
+  for (std::size_t i = 0; i < fast.size(); ++i)
+    EXPECT_LT(std::abs(fast[i] - direct[i]), 1e-9) << "at " << i;
+}
+
+TEST(MatchedFilterTest, RepeatedApplyReusesCache) {
+  Rng rng(6);
+  CVec tmpl(16);
+  for (auto& v : tmpl) v = {rng.uniform(-1.0, 1.0), 0.0};
+  MatchedFilter mf(tmpl);
+  CVec r(4096);
+  for (auto& v : r) v = {rng.uniform(-1.0, 1.0), 0.0};
+  const CVec y1 = mf.apply(r);
+  const CVec y2 = mf.apply(r);
+  for (std::size_t i = 0; i < y1.size(); ++i)
+    EXPECT_EQ(y1[i], y2[i]);
+}
+
+TEST(MatchedFilterTest, EmptyInputsThrow) {
+  EXPECT_THROW(MatchedFilter(CVec{}), PreconditionError);
+  MatchedFilter mf(CVec{{1.0, 0.0}});
+  EXPECT_THROW(mf.apply(CVec{}), PreconditionError);
+}
+
+TEST(PeaksTest, ArgmaxAbs) {
+  const CVec x{{1.0, 0.0}, {0.0, -5.0}, {2.0, 0.0}};
+  EXPECT_EQ(argmax_abs(x), 1u);
+  EXPECT_THROW(argmax_abs(CVec{}), PreconditionError);
+}
+
+TEST(PeaksTest, ArgmaxReal) {
+  EXPECT_EQ(argmax(RVec{1.0, 9.0, 3.0}), 1u);
+  EXPECT_THROW(argmax(RVec{}), PreconditionError);
+}
+
+TEST(PeaksTest, LocalMaximaRespectsThresholdAndDistance) {
+  CVec x(50, Complex{});
+  x[10] = 10.0;
+  x[12] = 8.0;   // within min_distance of the stronger peak at 10
+  x[30] = 5.0;
+  x[40] = 0.5;   // below threshold
+  const auto peaks = local_maxima(x, 1.0, 5);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 10u);
+  EXPECT_EQ(peaks[1].index, 30u);
+  EXPECT_DOUBLE_EQ(peaks[0].magnitude, 10.0);
+}
+
+TEST(PeaksTest, LocalMaximaSortedByIndex) {
+  CVec x(100, Complex{});
+  x[80] = 3.0;
+  x[20] = 2.0;
+  x[50] = 5.0;
+  const auto peaks = local_maxima(x, 1.0, 3);
+  ASSERT_EQ(peaks.size(), 3u);
+  EXPECT_EQ(peaks[0].index, 20u);
+  EXPECT_EQ(peaks[1].index, 50u);
+  EXPECT_EQ(peaks[2].index, 80u);
+}
+
+TEST(PeaksTest, NoiseSigmaEstimateOnPureNoise) {
+  Rng rng(7);
+  CVec x(4096);
+  const double sigma = 0.3;
+  for (auto& v : x) v = rng.complex_normal(sigma);
+  EXPECT_NEAR(noise_sigma_estimate(x), sigma, 0.02);
+}
+
+TEST(PeaksTest, NoiseSigmaRobustToStrongTaps) {
+  Rng rng(8);
+  CVec x(2048);
+  for (auto& v : x) v = rng.complex_normal(0.1);
+  // A handful of very strong "signal" taps should barely move the estimate.
+  for (int i = 0; i < 20; ++i) x[static_cast<std::size_t>(i * 100)] = {50.0, 0.0};
+  EXPECT_NEAR(noise_sigma_estimate(x), 0.1, 0.02);
+}
+
+TEST(StatsTest, BasicMoments) {
+  const RVec x{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(x), 5.0);
+  EXPECT_NEAR(variance(x), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(x), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(rms(RVec{3.0, 4.0}), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(max_abs(RVec{-5.0, 3.0}), 5.0);
+}
+
+TEST(StatsTest, SingleElementEdgeCases) {
+  EXPECT_DOUBLE_EQ(mean(RVec{42.0}), 42.0);
+  EXPECT_DOUBLE_EQ(variance(RVec{42.0}), 0.0);
+  EXPECT_DOUBLE_EQ(median(RVec{42.0}), 42.0);
+}
+
+TEST(StatsTest, MedianAndPercentile) {
+  EXPECT_DOUBLE_EQ(median(RVec{1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(RVec{1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(RVec{0.0, 10.0}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(RVec{0.0, 10.0}, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(RVec{0.0, 10.0}, 25.0), 2.5);
+  EXPECT_THROW(percentile(RVec{1.0}, 101.0), PreconditionError);
+  EXPECT_THROW(mean(RVec{}), PreconditionError);
+}
+
+TEST(WindowTest, HannProperties) {
+  const RVec w = hann(64);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);  // periodic Hann peaks at n/2
+  for (double v : w) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(WindowTest, HammingEndpointsNonZero) {
+  const RVec w = hamming(32);
+  EXPECT_NEAR(w[0], 0.08, 1e-12);
+  EXPECT_GT(w[16], 0.99);
+}
+
+TEST(WindowTest, GaussianSymmetricAndPeaked) {
+  const RVec w = gaussian(33, 0.4);
+  EXPECT_DOUBLE_EQ(w[16], 1.0);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_NEAR(w[i], w[32 - i], 1e-12);
+  EXPECT_THROW(gaussian(0, 0.4), PreconditionError);
+  EXPECT_THROW(gaussian(8, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace uwb::dsp

@@ -1,0 +1,139 @@
+// Unit + integration tests: double-sided TWR (drift-immune ranging
+// extension) — formula and full simulated POLL/RESP/FINAL exchanges.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+#include "dsp/stats.hpp"
+#include "ranging/dstwr.hpp"
+#include "ranging/twr.hpp"
+
+namespace uwb::ranging {
+namespace {
+
+// Consistent timestamp set for a given ToF, reply delays, and per-node
+// drifts (ppm). All intervals measured on the respective local clocks.
+DsTwrTimestamps make_timestamps(double tof, double reply_b, double reply_a,
+                                double ppm_a = 0.0, double ppm_b = 0.0) {
+  const double ka = 1.0 + ppm_a * 1e-6;
+  const double kb = 1.0 + ppm_b * 1e-6;
+  DsTwrTimestamps ts;
+  ts.t_tx_poll = dw::DwTimestamp(1'000'000);
+  ts.t_rx_resp = ts.t_tx_poll.plus_seconds((2.0 * tof + reply_b) * ka);
+  ts.t_tx_final = ts.t_rx_resp.plus_seconds(reply_a * ka);
+  ts.t_rx_poll = dw::DwTimestamp(777'777'777);
+  ts.t_tx_resp = ts.t_rx_poll.plus_seconds(reply_b * kb);
+  ts.t_rx_final = ts.t_tx_resp.plus_seconds((2.0 * tof + reply_a) * kb);
+  return ts;
+}
+
+TEST(DsTwrFormulaTest, PerfectClocksExact) {
+  const double tof = 7.0 / k::c_air;
+  const auto ts = make_timestamps(tof, 290e-6, 290e-6);
+  EXPECT_NEAR(ds_twr_distance(ts), 7.0, 0.002);
+}
+
+TEST(DsTwrFormulaTest, AsymmetricRepliesStillExact) {
+  // The asymmetric formula tolerates different reply delays on both sides.
+  const double tof = 12.0 / k::c_air;
+  const auto ts = make_timestamps(tof, 290e-6, 650e-6);
+  EXPECT_NEAR(ds_twr_distance(ts), 12.0, 0.002);
+}
+
+TEST(DsTwrFormulaTest, DriftCancelsToFirstOrder) {
+  // +-10 ppm drift that would wreck uncorrected SS-TWR leaves DS-TWR at
+  // millimetre level.
+  const double tof = 5.0 / k::c_air;
+  const auto ts = make_timestamps(tof, 290e-6, 290e-6, +10.0, -10.0);
+  EXPECT_NEAR(ds_twr_distance(ts), 5.0, 0.005);
+  // Contrast: SS-TWR with the same drift and no correction is off by
+  // ~c * 20ppm * 290us / 2 ~= 0.87 m.
+  TwrTimestamps ss;
+  ss.t_tx_init = ts.t_tx_poll;
+  ss.t_rx_init = ts.t_rx_resp;
+  ss.t_rx_resp = ts.t_rx_poll;
+  ss.t_tx_resp = ts.t_tx_resp;
+  EXPECT_GT(std::abs(ss_twr_distance(ss) - 5.0), 0.5);
+}
+
+TEST(DsTwrFormulaTest, WrapSafe) {
+  const std::uint64_t wrap = std::uint64_t{1} << 40;
+  const double tof = 4.0 / k::c_air;
+  DsTwrTimestamps ts;
+  ts.t_tx_poll = dw::DwTimestamp(wrap - 100);
+  ts.t_rx_resp = ts.t_tx_poll.plus_seconds(2.0 * tof + 290e-6);
+  ts.t_tx_final = ts.t_rx_resp.plus_seconds(290e-6);
+  ts.t_rx_poll = dw::DwTimestamp(wrap - 50);
+  ts.t_tx_resp = ts.t_rx_poll.plus_seconds(290e-6);
+  ts.t_rx_final = ts.t_tx_resp.plus_seconds(2.0 * tof + 290e-6);
+  EXPECT_NEAR(ds_twr_distance(ts), 4.0, 0.002);
+}
+
+TEST(DsTwrFormulaTest, NonPositiveIntervalThrows) {
+  auto ts = make_timestamps(3.0 / k::c_air, 290e-6, 290e-6);
+  std::swap(ts.t_tx_poll, ts.t_rx_resp);
+  EXPECT_THROW(ds_twr_tof_s(ts), PreconditionError);
+}
+
+DsTwrSessionConfig session_config(std::uint64_t seed, double distance_m) {
+  DsTwrSessionConfig cfg;
+  cfg.room = geom::Room::rectangular(30.0, 10.0, 12.0);
+  cfg.initiator_position = {2.0, 5.0};
+  cfg.responder_position = {2.0 + distance_m, 5.0};
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(DsTwrSessionTest, SingleRoundAccuracy) {
+  DsTwrSession session(session_config(1, 8.0));
+  const auto result = session.run_round();
+  ASSERT_TRUE(result.ok);
+  EXPECT_NEAR(result.distance_m, 8.0, 0.15);
+}
+
+TEST(DsTwrSessionTest, RepeatedRoundsPrecision) {
+  DsTwrSession session(session_config(2, 5.0));
+  RVec errors;
+  for (int i = 0; i < 100; ++i) {
+    const auto result = session.run_round();
+    if (result.ok) errors.push_back(result.distance_m - 5.0);
+  }
+  ASSERT_GE(errors.size(), 95u);
+  EXPECT_LT(std::abs(dsp::mean(errors)), 0.02);
+  EXPECT_LT(dsp::stddev(errors), 0.05);
+}
+
+TEST(DsTwrSessionTest, LargeDriftWithoutCfoCorrection) {
+  // DS-TWR needs no CFO estimate even with 20-ppm-class crystals.
+  DsTwrSessionConfig cfg = session_config(3, 6.0);
+  cfg.clock_drift_sigma_ppm = 20.0;
+  DsTwrSession session(cfg);
+  RVec errors;
+  for (int i = 0; i < 50; ++i) {
+    const auto result = session.run_round();
+    if (result.ok) errors.push_back(result.distance_m - 6.0);
+  }
+  ASSERT_GE(errors.size(), 45u);
+  EXPECT_LT(std::abs(dsp::mean(errors)), 0.05);
+}
+
+TEST(DsTwrSessionTest, TimestampsConsistent) {
+  DsTwrSession session(session_config(4, 10.0));
+  const auto result = session.run_round();
+  ASSERT_TRUE(result.ok);
+  const auto& ts = result.timestamps;
+  // Round/reply intervals are close to the configured 290 us.
+  EXPECT_NEAR(ts.t_tx_resp.diff_seconds(ts.t_rx_poll), 290e-6, 1e-6);
+  EXPECT_NEAR(ts.t_rx_resp.diff_seconds(ts.t_tx_poll), 290e-6, 1e-6);
+  EXPECT_GT(ts.t_rx_final.diff_seconds(ts.t_tx_resp), 0.0);
+}
+
+TEST(DsTwrSessionTest, TrueDistanceHelper) {
+  DsTwrSession session(session_config(5, 7.5));
+  EXPECT_DOUBLE_EQ(session.true_distance(), 7.5);
+}
+
+}  // namespace
+}  // namespace uwb::ranging

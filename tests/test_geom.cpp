@@ -1,0 +1,201 @@
+// Unit tests: 2-D geometry, rooms, and the image-source method (Fig. 1a).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "geom/image_source.hpp"
+#include "geom/room.hpp"
+#include "geom/vec2.hpp"
+
+namespace uwb::geom {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Vec2{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Vec2{2.0, 4.0}));
+  EXPECT_EQ((a / 2.0), (Vec2{0.5, 1.0}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(cross(a, b), -7.0);
+}
+
+TEST(Vec2Test, NormAndDistance) {
+  EXPECT_DOUBLE_EQ(norm(Vec2{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance(Vec2{1.0, 1.0}, Vec2{4.0, 5.0}), 5.0);
+  const Vec2 unit = normalized(Vec2{3.0, 4.0});
+  EXPECT_NEAR(norm(unit), 1.0, 1e-12);
+  EXPECT_EQ(normalized(Vec2{0.0, 0.0}), (Vec2{0.0, 0.0}));
+}
+
+TEST(SegmentTest, LengthAndMidpoint) {
+  const Segment s{{0.0, 0.0}, {4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(s.length(), 4.0);
+  EXPECT_EQ(s.midpoint(), (Vec2{2.0, 0.0}));
+}
+
+TEST(SegmentTest, ProperIntersection) {
+  const Segment a{{0.0, 0.0}, {2.0, 2.0}};
+  const Segment b{{0.0, 2.0}, {2.0, 0.0}};
+  EXPECT_TRUE(segments_intersect(a, b));
+  EXPECT_TRUE(segments_intersect(a, b, /*strict=*/true));
+}
+
+TEST(SegmentTest, DisjointSegments) {
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{0.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(segments_intersect(a, b));
+}
+
+TEST(SegmentTest, TouchingEndpointsStrictVsLoose) {
+  const Segment a{{0.0, 0.0}, {1.0, 1.0}};
+  const Segment b{{1.0, 1.0}, {2.0, 0.0}};
+  EXPECT_TRUE(segments_intersect(a, b, /*strict=*/false));
+  EXPECT_FALSE(segments_intersect(a, b, /*strict=*/true));
+}
+
+TEST(SegmentTest, CollinearOverlap) {
+  const Segment a{{0.0, 0.0}, {2.0, 0.0}};
+  const Segment b{{1.0, 0.0}, {3.0, 0.0}};
+  EXPECT_TRUE(segments_intersect(a, b));
+  EXPECT_FALSE(segments_intersect(a, b, /*strict=*/true));
+}
+
+TEST(SegmentTest, LineIntersection) {
+  Vec2 p;
+  ASSERT_TRUE(line_intersection(Segment{{0.0, 0.0}, {1.0, 0.0}},
+                                Segment{{5.0, -1.0}, {5.0, 1.0}}, p));
+  EXPECT_NEAR(p.x, 5.0, 1e-12);
+  EXPECT_NEAR(p.y, 0.0, 1e-12);
+  // Parallel lines: no intersection.
+  EXPECT_FALSE(line_intersection(Segment{{0.0, 0.0}, {1.0, 0.0}},
+                                 Segment{{0.0, 1.0}, {1.0, 1.0}}, p));
+}
+
+TEST(SegmentTest, MirrorAcross) {
+  const Segment wall{{0.0, 0.0}, {10.0, 0.0}};  // the x-axis
+  const Vec2 img = mirror_across(wall, {3.0, 2.0});
+  EXPECT_NEAR(img.x, 3.0, 1e-12);
+  EXPECT_NEAR(img.y, -2.0, 1e-12);
+  // Mirroring twice returns the original point.
+  const Vec2 back = mirror_across(wall, img);
+  EXPECT_NEAR(back.y, 2.0, 1e-12);
+}
+
+TEST(SegmentTest, ProjectT) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(project_t(s, {2.5, 7.0}), 0.25);
+  EXPECT_DOUBLE_EQ(project_t(s, {-5.0, 0.0}), -0.5);
+  EXPECT_THROW(project_t(Segment{{1.0, 1.0}, {1.0, 1.0}}, {0.0, 0.0}),
+               PreconditionError);
+}
+
+TEST(RoomTest, RectangularHasFourWalls) {
+  const Room room = Room::rectangular(8.0, 5.0, 7.0);
+  ASSERT_EQ(room.walls().size(), 4u);
+  for (const Wall& w : room.walls())
+    EXPECT_DOUBLE_EQ(w.reflection_loss_db, 7.0);
+  EXPECT_THROW(Room::rectangular(0.0, 5.0), PreconditionError);
+}
+
+TEST(RoomTest, HallwayHasTwoWalls) {
+  const Room room = Room::hallway(30.0, 2.4);
+  EXPECT_EQ(room.walls().size(), 2u);
+}
+
+TEST(RoomTest, ObstructionLossAccumulates) {
+  Room room = Room::rectangular(10.0, 10.0);
+  room.add_obstacle({{{5.0, 0.0}, {5.0, 10.0}}, 12.0, "divider"});
+  room.add_obstacle({{{7.0, 0.0}, {7.0, 10.0}}, 5.0, "shelf"});
+  EXPECT_DOUBLE_EQ(room.obstruction_loss_db({1.0, 5.0}, {9.0, 5.0}), 17.0);
+  EXPECT_DOUBLE_EQ(room.obstruction_loss_db({1.0, 5.0}, {4.0, 5.0}), 0.0);
+  // A ray parallel to (not crossing) the obstacle is free.
+  EXPECT_DOUBLE_EQ(room.obstruction_loss_db({1.0, 1.0}, {4.0, 1.0}), 0.0);
+}
+
+TEST(ImageSourceTest, LosAlwaysFirst) {
+  const Room room = Room::rectangular(10.0, 6.0);
+  const auto paths = compute_paths(room, {2.0, 3.0}, {8.0, 3.0}, 1);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front().order, 0);
+  EXPECT_DOUBLE_EQ(paths.front().length_m, 6.0);
+  EXPECT_DOUBLE_EQ(paths.front().reflection_loss_db, 0.0);
+}
+
+TEST(ImageSourceTest, RectangularRoomGivesFourFirstOrderPaths) {
+  // Interior TX/RX in a rectangle: one specular bounce per wall (Fig. 1a).
+  const Room room = Room::rectangular(10.0, 6.0);
+  const auto paths = compute_paths(room, {2.0, 3.0}, {8.0, 3.0}, 1);
+  int first_order = 0;
+  for (const auto& p : paths)
+    if (p.order == 1) ++first_order;
+  EXPECT_EQ(first_order, 4);
+}
+
+TEST(ImageSourceTest, KnownReflectionLength) {
+  // TX (2,3) -> floor (y=0) -> RX (8,3): image at (2,-3), length
+  // |(8,3)-(2,-3)| = sqrt(36+36).
+  const Room room = Room::rectangular(10.0, 6.0);
+  const auto paths = compute_paths(room, {2.0, 3.0}, {8.0, 3.0}, 1);
+  const double expected = std::sqrt(72.0);
+  bool found = false;
+  for (const auto& p : paths)
+    if (p.order == 1 && std::abs(p.length_m - expected) < 1e-9) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(ImageSourceTest, ReflectionAlwaysLongerThanLos) {
+  const Room room = Room::rectangular(12.0, 7.0);
+  const auto paths = compute_paths(room, {1.5, 2.0}, {10.0, 5.5}, 2);
+  const double los = paths.front().length_m;
+  for (const auto& p : paths)
+    if (p.order >= 1) EXPECT_GT(p.length_m, los);
+}
+
+TEST(ImageSourceTest, SecondOrderPathsExist) {
+  const Room room = Room::rectangular(10.0, 6.0);
+  const auto paths = compute_paths(room, {2.0, 3.0}, {8.0, 3.0}, 2);
+  int second = 0;
+  for (const auto& p : paths)
+    if (p.order == 2) {
+      ++second;
+      EXPECT_EQ(p.wall_indices.size(), 2u);
+      // Two bounces accumulate two reflection losses.
+      EXPECT_DOUBLE_EQ(p.reflection_loss_db, 12.0);
+    }
+  EXPECT_GT(second, 0);
+}
+
+TEST(ImageSourceTest, MaxOrderZeroIsLosOnly) {
+  const Room room = Room::rectangular(10.0, 6.0);
+  const auto paths = compute_paths(room, {2.0, 3.0}, {8.0, 3.0}, 0);
+  EXPECT_EQ(paths.size(), 1u);
+  EXPECT_THROW(compute_paths(room, {1.0, 1.0}, {2.0, 2.0}, 3), PreconditionError);
+}
+
+TEST(ImageSourceTest, HallwayGivesTwoSideReflections) {
+  const Room room = Room::hallway(40.0, 2.4);
+  const auto paths = compute_paths(room, {2.0, 1.2}, {12.0, 1.2}, 1);
+  int first_order = 0;
+  for (const auto& p : paths)
+    if (p.order == 1) ++first_order;
+  EXPECT_EQ(first_order, 2);
+}
+
+TEST(ImageSourceTest, ObstructedLosCarriesLoss) {
+  Room room = Room::rectangular(10.0, 6.0);
+  room.add_obstacle({{{5.0, 0.0}, {5.0, 6.0}}, 15.0, "wall"});
+  const auto paths = compute_paths(room, {2.0, 3.0}, {8.0, 3.0}, 0);
+  EXPECT_DOUBLE_EQ(paths.front().obstruction_loss_db, 15.0);
+}
+
+TEST(ImageSourceTest, EmptyRoomStillHasLos) {
+  const Room room;  // no walls at all
+  const auto paths = compute_paths(room, {0.0, 0.0}, {3.0, 4.0}, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(paths.front().length_m, 5.0);
+}
+
+}  // namespace
+}  // namespace uwb::geom

@@ -1,0 +1,123 @@
+// Integration tests: network-wide concurrent ranging (all-pairs sweep).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "ranging/network.hpp"
+
+namespace uwb::ranging {
+namespace {
+
+NetworkConfig small_network(std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.room = geom::Room::rectangular(16.0, 10.0, 10.0);
+  cfg.node_positions = {{2.0, 2.0}, {13.0, 2.5}, {12.5, 8.0}, {3.0, 7.5}};
+  cfg.ranging.num_slots = 4;
+  cfg.ranging.slot_spacing_s = 150e-9;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(NetworkTest, SingleRoundMeasuresAllNeighbours) {
+  NetworkRangingSession session(small_network(1));
+  const NetworkRound round = session.run_round(0);
+  ASSERT_TRUE(round.completed);
+  EXPECT_EQ(round.frames_in_batch, 3);
+  EXPECT_FALSE(round.distances[0].has_value());  // no self-distance
+  for (int j = 1; j < 4; ++j) {
+    ASSERT_TRUE(round.distances[static_cast<std::size_t>(j)].has_value())
+        << "node " << j;
+    EXPECT_NEAR(*round.distances[static_cast<std::size_t>(j)],
+                session.true_distance(0, j), 0.9);
+  }
+}
+
+TEST(NetworkTest, EveryNodeCanInitiate) {
+  NetworkRangingSession session(small_network(2));
+  for (int i = 0; i < session.node_count(); ++i) {
+    const NetworkRound round = session.run_round(i);
+    EXPECT_TRUE(round.completed) << "initiator " << i;
+    EXPECT_EQ(round.initiator, i);
+  }
+}
+
+TEST(NetworkTest, FullSweepFillsMatrix) {
+  NetworkRangingSession session(small_network(3));
+  const NetworkSweep sweep = session.run_full_sweep();
+  EXPECT_EQ(sweep.completed_rounds, 4);
+  int filled = 0;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) {
+        EXPECT_FALSE(sweep.matrix[static_cast<std::size_t>(i)]
+                                 [static_cast<std::size_t>(j)]
+                                     .has_value());
+        continue;
+      }
+      const auto& d = sweep.matrix[static_cast<std::size_t>(i)]
+                                  [static_cast<std::size_t>(j)];
+      if (d.has_value()) {
+        ++filled;
+        EXPECT_NEAR(*d, session.true_distance(i, j), 1.0);
+      }
+    }
+  EXPECT_GE(filled, 10);  // at least 10 of the 12 directed pairs
+}
+
+TEST(NetworkTest, SweepTracksEnergyAndTime) {
+  NetworkRangingSession session(small_network(4));
+  const NetworkSweep sweep = session.run_full_sweep();
+  EXPECT_GT(sweep.total_energy_j, 0.0);
+  // 4 rounds of ~600 us (plus idle gaps) — well under 0.1 s, and at least
+  // 4 response delays long.
+  EXPECT_GT(sweep.duration_s, 4 * 290e-6);
+  EXPECT_LT(sweep.duration_s, 0.1);
+  // Each node transmitted once as initiator and three times as responder.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(session.node(i).energy().tx_count(), 4);
+}
+
+TEST(NetworkTest, ReciprocalDistancesAgree) {
+  NetworkRangingSession session(small_network(5));
+  const NetworkSweep sweep = session.run_full_sweep();
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j) {
+      const auto& a = sweep.matrix[static_cast<std::size_t>(i)]
+                                  [static_cast<std::size_t>(j)];
+      const auto& b = sweep.matrix[static_cast<std::size_t>(j)]
+                                  [static_cast<std::size_t>(i)];
+      if (a.has_value() && b.has_value())
+        EXPECT_NEAR(*a, *b, 1.5) << i << "," << j;
+    }
+}
+
+TEST(NetworkTest, TwoNodeNetworkIsPlainTwr) {
+  NetworkConfig cfg;
+  cfg.room = geom::Room::rectangular(16.0, 10.0, 10.0);
+  cfg.node_positions = {{2.0, 5.0}, {10.0, 5.0}};
+  cfg.seed = 6;
+  NetworkRangingSession session(cfg);
+  const NetworkRound round = session.run_round(0);
+  ASSERT_TRUE(round.completed);
+  ASSERT_TRUE(round.distances[1].has_value());
+  EXPECT_NEAR(*round.distances[1], 8.0, 0.1);
+}
+
+TEST(NetworkTest, CapacityBoundEnforced) {
+  NetworkConfig cfg;
+  cfg.node_positions.assign(14, geom::Vec2{1.0, 1.0});  // 13 responders
+  cfg.ranging.num_slots = 4;
+  cfg.ranging.slot_spacing_s = 150e-9;
+  cfg.ranging.shape_registers = {0x93, 0xC8, 0xE6};  // capacity 12
+  EXPECT_THROW(NetworkRangingSession{cfg}, PreconditionError);
+}
+
+TEST(NetworkTest, InvalidInitiatorIndexThrows) {
+  NetworkRangingSession session(small_network(7));
+  EXPECT_THROW(session.run_round(-1), PreconditionError);
+  EXPECT_THROW(session.run_round(4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace uwb::ranging

@@ -1,0 +1,251 @@
+// Unit tests: combined RPM/pulse-shape assignment (Sect. VII/VIII) and
+// response interpretation (Eq. 4 with slot decoding).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+#include "ranging/protocol.hpp"
+
+namespace uwb::ranging {
+namespace {
+
+ConcurrentRangingConfig combined_config() {
+  ConcurrentRangingConfig cfg;
+  cfg.num_slots = 4;
+  cfg.slot_spacing_s = 250e-9;
+  cfg.shape_registers = {0x93, 0xC8, 0xE6};
+  return cfg;
+}
+
+TEST(ConfigTest, MaxRespondersIsProduct) {
+  const auto cfg = combined_config();
+  EXPECT_EQ(cfg.num_pulse_shapes(), 3);
+  EXPECT_EQ(cfg.max_responders(), 12);  // paper Fig. 8: N_max = 4 * 3 = 12
+}
+
+TEST(ConfigTest, ValidationCatchesBadConfigs) {
+  ConcurrentRangingConfig cfg;
+  cfg.response_delay_s = 0.0;
+  EXPECT_THROW(cfg.validate(), PreconditionError);
+  cfg = ConcurrentRangingConfig{};
+  cfg.num_slots = 3;  // slots without spacing
+  EXPECT_THROW(cfg.validate(), PreconditionError);
+  cfg = ConcurrentRangingConfig{};
+  cfg.shape_registers = {};
+  EXPECT_THROW(cfg.validate(), PreconditionError);
+  EXPECT_NO_THROW(ConcurrentRangingConfig{}.validate());
+}
+
+TEST(AssignTest, Fig8AssignmentPattern) {
+  // Fig. 8: slot = ID % N_RPM, shape = floor(ID / N_RPM) — IDs 0..3 use
+  // shape s1 in slots 0..3, IDs 4..7 use s2, IDs 8..11 use s3.
+  const auto cfg = combined_config();
+  for (int id = 0; id < 12; ++id) {
+    const SlotAssignment a = assign_responder(id, cfg);
+    EXPECT_EQ(a.slot, id % 4) << "id " << id;
+    EXPECT_EQ(a.shape_index, id / 4) << "id " << id;
+    EXPECT_EQ(a.shape_register, cfg.shape_registers[static_cast<std::size_t>(id / 4)]);
+    EXPECT_DOUBLE_EQ(a.extra_delay_s, (id % 4) * 250e-9);
+  }
+}
+
+TEST(AssignTest, AssignmentIsBijectiveWithinCapacity) {
+  const auto cfg = combined_config();
+  std::set<std::pair<int, int>> seen;
+  for (int id = 0; id < cfg.max_responders(); ++id) {
+    const SlotAssignment a = assign_responder(id, cfg);
+    EXPECT_TRUE(seen.emplace(a.slot, a.shape_index).second)
+        << "collision at id " << id;
+    // Round trip through the inverse.
+    EXPECT_EQ(responder_id_from(a.slot, a.shape_index, cfg), id);
+  }
+}
+
+TEST(AssignTest, IdsBeyondCapacityAlias) {
+  const auto cfg = combined_config();
+  const SlotAssignment a0 = assign_responder(0, cfg);
+  const SlotAssignment a12 = assign_responder(12, cfg);
+  EXPECT_EQ(a0.slot, a12.slot);
+  EXPECT_EQ(a0.shape_index, a12.shape_index);
+}
+
+TEST(AssignTest, SingleSlotSingleShape) {
+  ConcurrentRangingConfig cfg;  // anonymous plain concurrent ranging
+  for (int id : {0, 1, 7}) {
+    const SlotAssignment a = assign_responder(id, cfg);
+    EXPECT_EQ(a.slot, 0);
+    EXPECT_EQ(a.shape_index, 0);
+    EXPECT_DOUBLE_EQ(a.extra_delay_s, 0.0);
+  }
+  EXPECT_THROW(assign_responder(-1, cfg), PreconditionError);
+}
+
+TEST(AssignTest, InverseValidatesRanges) {
+  const auto cfg = combined_config();
+  EXPECT_THROW(responder_id_from(4, 0, cfg), PreconditionError);
+  EXPECT_THROW(responder_id_from(0, 3, cfg), PreconditionError);
+}
+
+DetectedResponse det(double tau_s, double amp = 0.5, int shape = -1) {
+  DetectedResponse d;
+  d.tau_s = tau_s;
+  d.amplitude = {amp, 0.0};
+  d.shape_index = shape;
+  return d;
+}
+
+TEST(InterpretTest, FirstResponseIsTwrDistance) {
+  ConcurrentRangingConfig cfg;
+  const auto ests = interpret_responses({det(100e-9)}, cfg, 3.0);
+  ASSERT_EQ(ests.size(), 1u);
+  EXPECT_DOUBLE_EQ(ests[0].distance_m, 3.0);
+  EXPECT_DOUBLE_EQ(ests[0].tau_rel_s, 0.0);
+}
+
+TEST(InterpretTest, Eq4HalvesDelayDifferences) {
+  // Paper Eq. 4: d_i = d_TWR + c (tau_i - tau_1) / 2.
+  ConcurrentRangingConfig cfg;
+  const double dtau = 20e-9;  // responder 3 m farther -> 20 ns round trip
+  const auto ests = interpret_responses({det(0.0), det(dtau)}, cfg, 3.0);
+  ASSERT_EQ(ests.size(), 2u);
+  EXPECT_NEAR(ests[1].distance_m, 3.0 + k::c_air * dtau / 2.0, 1e-9);
+  EXPECT_NEAR(ests[1].distance_m, 6.0, 0.01);
+}
+
+TEST(InterpretTest, SlotDelayRemovedOnce) {
+  // A response in slot 1 carries the full (un-halved) slot delay; Eq. 4
+  // must subtract it before halving the residual.
+  auto cfg = combined_config();
+  const double in_slot_extra = 10e-9;  // 1.5 m farther than sync
+  const auto ests = interpret_responses(
+      {det(0.0), det(cfg.slot_spacing_s + in_slot_extra)}, cfg, 4.0);
+  ASSERT_EQ(ests.size(), 2u);
+  EXPECT_EQ(ests[1].slot, 1);
+  EXPECT_NEAR(ests[1].distance_m, 4.0 + k::c_air * in_slot_extra / 2.0, 1e-6);
+}
+
+TEST(InterpretTest, NegativeInSlotResidualAllowed) {
+  // A slot-1 responder *closer* than the sync responder arrives slightly
+  // before the nominal slot boundary; rounding must still decode slot 1.
+  auto cfg = combined_config();
+  const double in_slot = -8e-9;  // 1.2 m closer
+  const auto ests = interpret_responses(
+      {det(0.0), det(cfg.slot_spacing_s + in_slot)}, cfg, 4.0);
+  ASSERT_EQ(ests.size(), 2u);
+  EXPECT_EQ(ests[1].slot, 1);
+  EXPECT_LT(ests[1].distance_m, 4.0);
+}
+
+TEST(InterpretTest, SyncSlotOffsetsDecoding) {
+  auto cfg = combined_config();
+  // Sync responder sits in slot 2; a peak one slot later is slot 3.
+  const auto ests = interpret_responses(
+      {det(0.0), det(cfg.slot_spacing_s)}, cfg, 5.0, /*sync_slot=*/2);
+  ASSERT_EQ(ests.size(), 2u);
+  EXPECT_EQ(ests[0].slot, 2);
+  EXPECT_EQ(ests[1].slot, 3);
+}
+
+TEST(InterpretTest, IdDecodedFromSlotAndShape) {
+  auto cfg = combined_config();
+  // Shape index 1 (s2) in slot 2 -> ID = 1*4 + 2 = 6.
+  const auto ests = interpret_responses(
+      {det(0.0, 0.5, 0), det(2.0 * cfg.slot_spacing_s, 0.4, 1)}, cfg, 3.0);
+  ASSERT_EQ(ests.size(), 2u);
+  EXPECT_EQ(ests[0].responder_id, 0);
+  EXPECT_EQ(ests[1].responder_id, 6);
+}
+
+TEST(InterpretTest, AnonymousWithoutShapes) {
+  ConcurrentRangingConfig cfg;  // 1 slot, 1 shape: IDs decode trivially to 0
+  const auto ests = interpret_responses({det(0.0), det(10e-9)}, cfg, 3.0);
+  EXPECT_EQ(ests[0].responder_id, 0);
+  EXPECT_EQ(ests[1].responder_id, 0);
+}
+
+TEST(InterpretTest, MultiShapeWithoutClassificationStaysAnonymous) {
+  auto cfg = combined_config();
+  const auto ests = interpret_responses({det(0.0, 0.5, -1)}, cfg, 3.0);
+  EXPECT_EQ(ests[0].responder_id, -1);
+}
+
+TEST(InterpretTest, EmptyDetectionsGiveEmptyEstimates) {
+  ConcurrentRangingConfig cfg;
+  EXPECT_TRUE(interpret_responses({}, cfg, 3.0).empty());
+}
+
+ResponderEstimate make_est(int id, double dist, double amp, double tau_rel) {
+  ResponderEstimate e;
+  e.responder_id = id;
+  e.distance_m = dist;
+  e.amplitude = amp;
+  e.tau_rel_s = tau_rel;
+  return e;
+}
+
+TEST(SlotSelectTest, PassThroughWhenUnique) {
+  auto cfg = combined_config();
+  const std::vector<ResponderEstimate> ests{make_est(0, 3.0, 0.5, 0.0),
+                                            make_est(1, 5.0, 0.3, 150e-9)};
+  const auto out = select_slot_responses(ests, cfg);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].responder_id, 0);
+  EXPECT_EQ(out[1].responder_id, 1);
+}
+
+TEST(SlotSelectTest, DropsWeakerDuplicateOfSameId) {
+  auto cfg = combined_config();
+  // The second entry is an MPC of responder 0: same ID, later, weaker.
+  const std::vector<ResponderEstimate> ests{
+      make_est(0, 3.0, 0.5, 0.0), make_est(0, 3.8, 0.1, 5e-9),
+      make_est(1, 6.0, 0.3, 150e-9)};
+  const auto out = select_slot_responses(ests, cfg);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].distance_m, 3.0);
+  EXPECT_EQ(out[1].responder_id, 1);
+}
+
+TEST(SlotSelectTest, PrefersEarliestOfComparablyStrong) {
+  auto cfg = combined_config();
+  // Direct path slightly weaker than its own reflection (NLOS-ish): keep
+  // the earlier one as long as it is within 6 dB.
+  const std::vector<ResponderEstimate> ests{
+      make_est(0, 3.0, 0.3, 0.0), make_est(0, 4.1, 0.4, 7e-9)};
+  const auto out = select_slot_responses(ests, cfg);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].distance_m, 3.0);
+}
+
+TEST(SlotSelectTest, SkipsWeakPrecursorBlip) {
+  auto cfg = combined_config();
+  // A noise blip far below the true response must not displace it.
+  const std::vector<ResponderEstimate> ests{
+      make_est(0, 2.2, 0.04, 0.0), make_est(0, 3.0, 0.5, 5e-9)};
+  const auto out = select_slot_responses(ests, cfg);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].distance_m, 3.0);
+}
+
+TEST(SlotSelectTest, AnonymousEstimatesPassThrough) {
+  auto cfg = combined_config();
+  const std::vector<ResponderEstimate> ests{
+      make_est(-1, 3.0, 0.5, 0.0), make_est(-1, 4.0, 0.4, 6e-9)};
+  EXPECT_EQ(select_slot_responses(ests, cfg).size(), 2u);
+}
+
+TEST(SlotSelectTest, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(select_slot_responses({}, combined_config()).empty());
+}
+
+TEST(InterpretTest, OutOfRangeSlotGivesNoId) {
+  auto cfg = combined_config();
+  // A peak 10 slots out decodes to slot 10 > N_RPM-1: no identity.
+  const auto ests = interpret_responses(
+      {det(0.0, 0.5, 0), det(10.0 * cfg.slot_spacing_s, 0.4, 0)}, cfg, 3.0);
+  EXPECT_EQ(ests[1].responder_id, -1);
+}
+
+}  // namespace
+}  // namespace uwb::ranging

@@ -1,0 +1,125 @@
+// Unit tests: position tracker (alpha-beta filter) and CSV export helper.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/expects.hpp"
+#include "common/random.hpp"
+#include "loc/tracker.hpp"
+
+namespace uwb {
+namespace {
+
+TEST(TrackerTest, FirstFixPassesThrough) {
+  loc::PositionTracker tracker;
+  const geom::Vec2 out = tracker.update({3.0, 4.0}, 0.1);
+  EXPECT_EQ(out, (geom::Vec2{3.0, 4.0}));
+  EXPECT_TRUE(tracker.initialized());
+  EXPECT_EQ(tracker.velocity(), (geom::Vec2{0.0, 0.0}));
+}
+
+TEST(TrackerTest, ConvergesToConstantVelocityTrack) {
+  loc::PositionTracker tracker;
+  // Target moves at 1 m/s along x; noiseless fixes every 0.5 s.
+  geom::Vec2 filtered;
+  for (int i = 0; i <= 20; ++i)
+    filtered = tracker.update({0.5 * i, 2.0}, 0.5);
+  EXPECT_NEAR(filtered.x, 10.0, 0.2);
+  EXPECT_NEAR(filtered.y, 2.0, 0.05);
+  EXPECT_NEAR(tracker.velocity().x, 1.0, 0.2);
+}
+
+TEST(TrackerTest, SmoothsNoisyFixes) {
+  loc::PositionTracker tracker;
+  Rng rng(3);
+  double raw_sse = 0.0, filt_sse = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const geom::Vec2 truth{0.2 * i, 5.0};
+    const geom::Vec2 meas{truth.x + rng.normal(0.0, 0.3),
+                          truth.y + rng.normal(0.0, 0.3)};
+    const geom::Vec2 filt = tracker.update(meas, 0.2);
+    if (i < 20) continue;  // let it converge
+    raw_sse += geom::distance(meas, truth) * geom::distance(meas, truth);
+    filt_sse += geom::distance(filt, truth) * geom::distance(filt, truth);
+  }
+  EXPECT_LT(filt_sse, 0.6 * raw_sse);
+}
+
+TEST(TrackerTest, GateRejectsOutliers) {
+  loc::PositionTracker tracker;
+  tracker.update({1.0, 1.0}, 0.5);
+  tracker.update({1.1, 1.0}, 0.5);
+  // A 10 m jump is an outlier; the filter coasts instead of following it.
+  const geom::Vec2 out = tracker.update({11.0, 1.0}, 0.5);
+  EXPECT_LT(out.x, 2.0);
+  EXPECT_EQ(tracker.rejected_count(), 1);
+}
+
+TEST(TrackerTest, ReseedsAfterPersistentJump) {
+  loc::TrackerParams params;
+  params.max_rejections = 3;
+  loc::PositionTracker tracker(params);
+  tracker.update({1.0, 1.0}, 0.5);
+  tracker.update({1.0, 1.0}, 0.5);
+  // The target genuinely teleported (e.g. tracking resumed elsewhere):
+  // after max_rejections the filter re-seeds on the new position.
+  geom::Vec2 out;
+  for (int i = 0; i < 3; ++i) out = tracker.update({20.0, 5.0}, 0.5);
+  EXPECT_NEAR(out.x, 20.0, 1e-9);
+  EXPECT_NEAR(out.y, 5.0, 1e-9);
+}
+
+TEST(TrackerTest, ResetClearsState) {
+  loc::PositionTracker tracker;
+  tracker.update({5.0, 5.0}, 0.5);
+  tracker.reset();
+  EXPECT_FALSE(tracker.initialized());
+}
+
+TEST(TrackerTest, InvalidParamsThrow) {
+  loc::TrackerParams bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(loc::PositionTracker{bad}, PreconditionError);
+  bad = loc::TrackerParams{};
+  bad.gate_m = -1.0;
+  EXPECT_THROW(loc::PositionTracker{bad}, PreconditionError);
+  loc::PositionTracker tracker;
+  EXPECT_THROW(tracker.update({0.0, 0.0}, 0.0), PreconditionError);
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  const std::string path = "/tmp/uwb_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.header({"x", "y"});
+    csv.row({1.0, 2.5});
+    csv.row({3.0, -4.0});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "x,y\n1,2.5\n3,-4\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RowWidthMismatchThrows) {
+  CsvWriter csv("/tmp/uwb_csv_test2.csv");
+  csv.header({"a", "b", "c"});
+  EXPECT_THROW(csv.row({1.0}), PreconditionError);
+  EXPECT_THROW(csv.header({"again"}), PreconditionError);
+  std::remove("/tmp/uwb_csv_test2.csv");
+}
+
+TEST(CsvTest, RowBeforeHeaderThrows) {
+  CsvWriter csv("/tmp/uwb_csv_test3.csv");
+  EXPECT_THROW(csv.row({1.0}), PreconditionError);
+  std::remove("/tmp/uwb_csv_test3.csv");
+}
+
+}  // namespace
+}  // namespace uwb

@@ -1,0 +1,94 @@
+// Unit tests: SS-TWR distance computation (Eq. 2) with drift correction.
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+#include "ranging/twr.hpp"
+
+namespace uwb::ranging {
+namespace {
+
+// Build a consistent timestamp quadruple for a given true ToF and reply
+// time, with optional clock drift on the responder (relative to the
+// initiator's clock, in ppm).
+TwrTimestamps make_timestamps(double tof_s, double reply_s,
+                              double responder_ppm = 0.0) {
+  TwrTimestamps ts;
+  ts.t_tx_init = dw::DwTimestamp(1'000'000'000);
+  // Responder counters are an arbitrary epoch apart; only differences matter.
+  const dw::DwTimestamp resp_epoch(42'424'242);
+  ts.t_rx_resp = resp_epoch;
+  ts.t_tx_resp = resp_epoch.plus_seconds(reply_s * (1.0 + responder_ppm * 1e-6));
+  ts.t_rx_init = ts.t_tx_init.plus_seconds(2.0 * tof_s + reply_s);
+  return ts;
+}
+
+TEST(TwrTest, PerfectClocksExactDistance) {
+  const double tof = 5.0 / k::c_air;
+  const TwrTimestamps ts = make_timestamps(tof, 290e-6);
+  EXPECT_NEAR(ss_twr_distance(ts), 5.0, 0.005);
+  EXPECT_NEAR(ss_twr_tof_s(ts), tof, 1e-11);
+}
+
+TEST(TwrTest, ZeroDistanceIsZero) {
+  const TwrTimestamps ts = make_timestamps(0.0, 290e-6);
+  EXPECT_NEAR(ss_twr_distance(ts), 0.0, 0.005);
+}
+
+TEST(TwrTest, DriftWithoutCorrectionBiasesDistance) {
+  // +5 ppm responder drift over a 290 us reply inflates the reply interval
+  // by 1.45 ns -> ~22 cm error if uncorrected (why drift compensation is
+  // mandatory for SS-TWR).
+  const double tof = 3.0 / k::c_air;
+  const TwrTimestamps ts = make_timestamps(tof, 290e-6, +5.0);
+  const double uncorrected = ss_twr_distance(ts, 0.0);
+  EXPECT_LT(uncorrected, 3.0 - 0.15);
+  EXPECT_NEAR(3.0 - uncorrected, k::c_air * 5e-6 * 290e-6 / 2.0, 0.02);
+}
+
+TEST(TwrTest, CfoCorrectionRemovesDriftBias) {
+  const double tof = 3.0 / k::c_air;
+  const TwrTimestamps ts = make_timestamps(tof, 290e-6, +5.0);
+  EXPECT_NEAR(ss_twr_distance(ts, +5.0), 3.0, 0.01);
+}
+
+TEST(TwrTest, NegativeDriftCorrectedSymmetrically) {
+  const double tof = 10.0 / k::c_air;
+  const TwrTimestamps ts = make_timestamps(tof, 400e-6, -8.0);
+  EXPECT_NEAR(ss_twr_distance(ts, -8.0), 10.0, 0.01);
+}
+
+TEST(TwrTest, WorksAcrossCounterWrap) {
+  // Reply interval straddling the 40-bit wrap must still compute correctly.
+  const double tof = 4.0 / k::c_air;
+  const std::uint64_t wrap = std::uint64_t{1} << 40;
+  TwrTimestamps ts;
+  ts.t_tx_init = dw::DwTimestamp(wrap - 1000);
+  ts.t_rx_resp = dw::DwTimestamp(wrap - 500);
+  ts.t_tx_resp = ts.t_rx_resp.plus_seconds(290e-6);
+  ts.t_rx_init = ts.t_tx_init.plus_seconds(2.0 * tof + 290e-6);
+  EXPECT_NEAR(ss_twr_distance(ts), 4.0, 0.01);
+}
+
+TEST(AntennaDelayTest, EstimateFromKnownDistance) {
+  // d_meas = d_true + c * delay for symmetric devices.
+  const double delay = 100e-9;
+  const double measured = 5.0 + k::c_air * delay;
+  EXPECT_NEAR(estimate_antenna_delay_s(measured, 5.0), delay, 1e-12);
+}
+
+TEST(AntennaDelayTest, CorrectionRemovesBias) {
+  const double measured = 5.0 + k::c_air * (80e-9 + 120e-9) / 2.0;
+  EXPECT_NEAR(correct_antenna_delay_m(measured, 80e-9, 120e-9), 5.0, 1e-9);
+  EXPECT_THROW(correct_antenna_delay_m(5.0, -1e-9, 0.0), PreconditionError);
+}
+
+
+TEST(TwrTest, NonPositiveIntervalsThrow) {
+  TwrTimestamps ts = make_timestamps(3.0 / k::c_air, 290e-6);
+  std::swap(ts.t_tx_init, ts.t_rx_init);  // negative round time
+  EXPECT_THROW(ss_twr_distance(ts), PreconditionError);
+}
+
+}  // namespace
+}  // namespace uwb::ranging

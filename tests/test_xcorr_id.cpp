@@ -1,0 +1,120 @@
+// Unit tests: cross-correlation responder identification (the challenge-II
+// baseline) — snippet extraction and matching behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+#include "dsp/signal.hpp"
+#include "dw1000/cir.hpp"
+#include "ranging/search_subtract.hpp"
+#include "ranging/xcorr_id.hpp"
+
+namespace uwb::ranging {
+namespace {
+
+// A CIR with a distinctive multipath signature around the main response.
+dw::CirEstimate signature_cir(double main_tap, double mpc_offset_taps,
+                              double mpc_amp, std::uint64_t seed) {
+  std::vector<dw::CirArrival> arrivals;
+  dw::CirArrival main;
+  main.time_into_window_s = main_tap * k::cir_ts_s;
+  main.amplitude = {0.5, 0.0};
+  arrivals.push_back(main);
+  dw::CirArrival mpc;
+  mpc.time_into_window_s = (main_tap + mpc_offset_taps) * k::cir_ts_s;
+  mpc.amplitude = {mpc_amp, 0.1};
+  arrivals.push_back(mpc);
+  dw::CirParams params;
+  params.noise_sigma = 0.003;
+  Rng rng(seed);
+  return dw::synthesize_cir(arrivals, params, rng);
+}
+
+DetectedResponse at_tap(double tap) {
+  DetectedResponse d;
+  d.tau_s = tap * k::cir_ts_s;
+  d.amplitude = {0.5, 0.0};
+  return d;
+}
+
+TEST(XcorrIdTest, SnippetIsUnitEnergyAndCentred) {
+  const auto cir = signature_cir(100.0, 4.0, 0.2, 1);
+  const CVec snippet = XcorrIdentifier::extract_snippet(
+      cir.taps, k::cir_ts_s, 100.0 * k::cir_ts_s, 15e-9);
+  EXPECT_NEAR(dsp::energy(snippet), 1.0, 1e-9);
+  // Centre sample carries the main peak.
+  const std::size_t centre = snippet.size() / 2;
+  for (const auto& v : snippet)
+    EXPECT_LE(std::abs(v), std::abs(snippet[centre]) + 1e-9);
+}
+
+TEST(XcorrIdTest, SnippetClipsAtEdges) {
+  const auto cir = signature_cir(3.0, 4.0, 0.2, 2);
+  const CVec snippet = XcorrIdentifier::extract_snippet(
+      cir.taps, k::cir_ts_s, 3.0 * k::cir_ts_s, 15e-9);
+  EXPECT_EQ(snippet.size(), 2u * 15u + 1u);  // window intact, zero-padded
+}
+
+TEST(XcorrIdTest, IdentifiesMatchingSignature) {
+  // Two responders with clearly different multipath signatures.
+  XcorrIdentifier id;
+  const auto ref_a = signature_cir(100.0, 3.0, 0.30, 3);   // close strong MPC
+  const auto ref_b = signature_cir(100.0, 11.0, 0.18, 4);  // far weak MPC
+  id.add_reference(0, ref_a.taps, k::cir_ts_s, 100.0 * k::cir_ts_s);
+  id.add_reference(1, ref_b.taps, k::cir_ts_s, 100.0 * k::cir_ts_s);
+  // A fresh draw of signature A must match reference 0.
+  const auto probe = signature_cir(100.0, 3.0, 0.30, 5);
+  const auto match = id.identify(probe.taps, k::cir_ts_s, at_tap(100.0));
+  EXPECT_EQ(match.responder_id, 0);
+  EXPECT_GT(match.score, 0.8);
+}
+
+TEST(XcorrIdTest, ChangedSignatureDropsScore) {
+  // The paper's argument: once the responder moves, its recorded signature
+  // no longer matches.
+  XcorrIdentifier id;
+  const auto ref = signature_cir(100.0, 3.0, 0.30, 6);
+  id.add_reference(0, ref.taps, k::cir_ts_s, 100.0 * k::cir_ts_s);
+  const auto same = signature_cir(100.0, 3.0, 0.30, 7);
+  const auto moved = signature_cir(100.0, 12.0, 0.30, 8);
+  const double score_same =
+      id.identify(same.taps, k::cir_ts_s, at_tap(100.0)).score;
+  const double score_moved =
+      id.identify(moved.taps, k::cir_ts_s, at_tap(100.0)).score;
+  EXPECT_GT(score_same, score_moved + 0.1);
+}
+
+TEST(XcorrIdTest, LagSearchAbsorbsSmallShift) {
+  XcorrIdentifier id;
+  const auto ref = signature_cir(100.0, 3.0, 0.30, 9);
+  id.add_reference(0, ref.taps, k::cir_ts_s, 100.0 * k::cir_ts_s);
+  // Same signature arriving 2 taps later (TX truncation shift).
+  const auto shifted = signature_cir(102.0, 3.0, 0.30, 10);
+  const auto match = id.identify(shifted.taps, k::cir_ts_s, at_tap(100.0));
+  EXPECT_EQ(match.responder_id, 0);
+  EXPECT_GT(match.score, 0.7);
+}
+
+TEST(XcorrIdTest, NoReferencesGiveNoMatch) {
+  XcorrIdentifier id;
+  const auto cir = signature_cir(100.0, 3.0, 0.3, 11);
+  const auto match = id.identify(cir.taps, k::cir_ts_s, at_tap(100.0));
+  EXPECT_EQ(match.responder_id, -1);
+  EXPECT_DOUBLE_EQ(match.score, 0.0);
+}
+
+TEST(XcorrIdTest, InvalidArgsThrow) {
+  EXPECT_THROW(XcorrIdentifier{0.0}, PreconditionError);
+  XcorrIdentifier id;
+  const auto cir = signature_cir(100.0, 3.0, 0.3, 12);
+  EXPECT_THROW(id.add_reference(-1, cir.taps, k::cir_ts_s, 0.0),
+               PreconditionError);
+  EXPECT_THROW(
+      XcorrIdentifier::extract_snippet(CVec{}, k::cir_ts_s, 0.0, 15e-9),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace uwb::ranging
