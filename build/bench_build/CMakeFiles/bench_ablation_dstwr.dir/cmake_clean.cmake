@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dstwr"
+  "../bench/bench_ablation_dstwr.pdb"
+  "CMakeFiles/bench_ablation_dstwr.dir/bench_ablation_dstwr.cpp.o"
+  "CMakeFiles/bench_ablation_dstwr.dir/bench_ablation_dstwr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dstwr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_slotaware"
+  "../bench/bench_ablation_slotaware.pdb"
+  "CMakeFiles/bench_ablation_slotaware.dir/bench_ablation_slotaware.cpp.o"
+  "CMakeFiles/bench_ablation_slotaware.dir/bench_ablation_slotaware.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slotaware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_txquant"
+  "../bench/bench_ablation_txquant.pdb"
+  "CMakeFiles/bench_ablation_txquant.dir/bench_ablation_txquant.cpp.o"
+  "CMakeFiles/bench_ablation_txquant.dir/bench_ablation_txquant.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_txquant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_xcorr"
+  "../bench/bench_ablation_xcorr.pdb"
+  "CMakeFiles/bench_ablation_xcorr.dir/bench_ablation_xcorr.cpp.o"
+  "CMakeFiles/bench_ablation_xcorr.dir/bench_ablation_xcorr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_xcorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

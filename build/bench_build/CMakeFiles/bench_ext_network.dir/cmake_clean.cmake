@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_network"
+  "../bench/bench_ext_network.pdb"
+  "CMakeFiles/bench_ext_network.dir/bench_ext_network.cpp.o"
+  "CMakeFiles/bench_ext_network.dir/bench_ext_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_nlos"
+  "../bench/bench_ext_nlos.pdb"
+  "CMakeFiles/bench_ext_nlos.dir/bench_ext_nlos.cpp.o"
+  "CMakeFiles/bench_ext_nlos.dir/bench_ext_nlos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_nlos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

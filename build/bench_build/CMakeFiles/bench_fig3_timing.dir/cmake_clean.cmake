@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_timing"
+  "../bench/bench_fig3_timing.pdb"
+  "CMakeFiles/bench_fig3_timing.dir/bench_fig3_timing.cpp.o"
+  "CMakeFiles/bench_fig3_timing.dir/bench_fig3_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

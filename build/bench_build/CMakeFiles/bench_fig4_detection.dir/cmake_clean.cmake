@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_detection"
+  "../bench/bench_fig4_detection.pdb"
+  "CMakeFiles/bench_fig4_detection.dir/bench_fig4_detection.cpp.o"
+  "CMakeFiles/bench_fig4_detection.dir/bench_fig4_detection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_pulseshapes"
+  "../bench/bench_fig5_pulseshapes.pdb"
+  "CMakeFiles/bench_fig5_pulseshapes.dir/bench_fig5_pulseshapes.cpp.o"
+  "CMakeFiles/bench_fig5_pulseshapes.dir/bench_fig5_pulseshapes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pulseshapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

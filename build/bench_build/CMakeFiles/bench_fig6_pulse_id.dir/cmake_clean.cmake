@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_pulse_id"
+  "../bench/bench_fig6_pulse_id.pdb"
+  "CMakeFiles/bench_fig6_pulse_id.dir/bench_fig6_pulse_id.cpp.o"
+  "CMakeFiles/bench_fig6_pulse_id.dir/bench_fig6_pulse_id.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pulse_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_combined"
+  "../bench/bench_fig8_combined.pdb"
+  "CMakeFiles/bench_fig8_combined.dir/bench_fig8_combined.cpp.o"
+  "CMakeFiles/bench_fig8_combined.dir/bench_fig8_combined.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

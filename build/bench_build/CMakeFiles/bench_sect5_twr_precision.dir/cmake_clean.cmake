@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sect5_twr_precision"
+  "../bench/bench_sect5_twr_precision.pdb"
+  "CMakeFiles/bench_sect5_twr_precision.dir/bench_sect5_twr_precision.cpp.o"
+  "CMakeFiles/bench_sect5_twr_precision.dir/bench_sect5_twr_precision.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sect5_twr_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sect5_twr_precision.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sect8_scalability"
+  "../bench/bench_sect8_scalability.pdb"
+  "CMakeFiles/bench_sect8_scalability.dir/bench_sect8_scalability.cpp.o"
+  "CMakeFiles/bench_sect8_scalability.dir/bench_sect8_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sect8_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

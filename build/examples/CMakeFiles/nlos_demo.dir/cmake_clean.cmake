@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlos_demo.dir/nlos_demo.cpp.o"
+  "CMakeFiles/nlos_demo.dir/nlos_demo.cpp.o.d"
+  "nlos_demo"
+  "nlos_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlos_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

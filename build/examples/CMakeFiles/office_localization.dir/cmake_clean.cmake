@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_localization.dir/office_localization.cpp.o"
+  "CMakeFiles/office_localization.dir/office_localization.cpp.o.d"
+  "office_localization"
+  "office_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

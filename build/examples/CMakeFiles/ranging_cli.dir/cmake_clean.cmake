@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranging_cli.dir/ranging_cli.cpp.o"
+  "CMakeFiles/ranging_cli.dir/ranging_cli.cpp.o.d"
+  "ranging_cli"
+  "ranging_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranging_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/channel_model.cpp" "src/channel/CMakeFiles/uwb_channel.dir/channel_model.cpp.o" "gcc" "src/channel/CMakeFiles/uwb_channel.dir/channel_model.cpp.o.d"
+  "/root/repo/src/channel/path_loss.cpp" "src/channel/CMakeFiles/uwb_channel.dir/path_loss.cpp.o" "gcc" "src/channel/CMakeFiles/uwb_channel.dir/path_loss.cpp.o.d"
+  "/root/repo/src/channel/saleh_valenzuela.cpp" "src/channel/CMakeFiles/uwb_channel.dir/saleh_valenzuela.cpp.o" "gcc" "src/channel/CMakeFiles/uwb_channel.dir/saleh_valenzuela.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uwb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/uwb_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

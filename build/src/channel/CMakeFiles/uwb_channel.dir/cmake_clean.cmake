@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uwb_channel.dir/channel_model.cpp.o"
+  "CMakeFiles/uwb_channel.dir/channel_model.cpp.o.d"
+  "CMakeFiles/uwb_channel.dir/path_loss.cpp.o"
+  "CMakeFiles/uwb_channel.dir/path_loss.cpp.o.d"
+  "CMakeFiles/uwb_channel.dir/saleh_valenzuela.cpp.o"
+  "CMakeFiles/uwb_channel.dir/saleh_valenzuela.cpp.o.d"
+  "libuwb_channel.a"
+  "libuwb_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uwb_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

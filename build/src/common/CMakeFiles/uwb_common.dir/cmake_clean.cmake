@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uwb_common.dir/csv.cpp.o"
+  "CMakeFiles/uwb_common.dir/csv.cpp.o.d"
+  "CMakeFiles/uwb_common.dir/random.cpp.o"
+  "CMakeFiles/uwb_common.dir/random.cpp.o.d"
+  "CMakeFiles/uwb_common.dir/units.cpp.o"
+  "CMakeFiles/uwb_common.dir/units.cpp.o.d"
+  "libuwb_common.a"
+  "libuwb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uwb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/uwb_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/uwb_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/matched_filter.cpp" "src/dsp/CMakeFiles/uwb_dsp.dir/matched_filter.cpp.o" "gcc" "src/dsp/CMakeFiles/uwb_dsp.dir/matched_filter.cpp.o.d"
+  "/root/repo/src/dsp/peaks.cpp" "src/dsp/CMakeFiles/uwb_dsp.dir/peaks.cpp.o" "gcc" "src/dsp/CMakeFiles/uwb_dsp.dir/peaks.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/uwb_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/uwb_dsp.dir/resample.cpp.o.d"
+  "/root/repo/src/dsp/signal.cpp" "src/dsp/CMakeFiles/uwb_dsp.dir/signal.cpp.o" "gcc" "src/dsp/CMakeFiles/uwb_dsp.dir/signal.cpp.o.d"
+  "/root/repo/src/dsp/stats.cpp" "src/dsp/CMakeFiles/uwb_dsp.dir/stats.cpp.o" "gcc" "src/dsp/CMakeFiles/uwb_dsp.dir/stats.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/uwb_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/uwb_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uwb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

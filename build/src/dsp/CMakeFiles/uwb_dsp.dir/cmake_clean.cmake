@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uwb_dsp.dir/fft.cpp.o"
+  "CMakeFiles/uwb_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/uwb_dsp.dir/matched_filter.cpp.o"
+  "CMakeFiles/uwb_dsp.dir/matched_filter.cpp.o.d"
+  "CMakeFiles/uwb_dsp.dir/peaks.cpp.o"
+  "CMakeFiles/uwb_dsp.dir/peaks.cpp.o.d"
+  "CMakeFiles/uwb_dsp.dir/resample.cpp.o"
+  "CMakeFiles/uwb_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/uwb_dsp.dir/signal.cpp.o"
+  "CMakeFiles/uwb_dsp.dir/signal.cpp.o.d"
+  "CMakeFiles/uwb_dsp.dir/stats.cpp.o"
+  "CMakeFiles/uwb_dsp.dir/stats.cpp.o.d"
+  "CMakeFiles/uwb_dsp.dir/window.cpp.o"
+  "CMakeFiles/uwb_dsp.dir/window.cpp.o.d"
+  "libuwb_dsp.a"
+  "libuwb_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uwb_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

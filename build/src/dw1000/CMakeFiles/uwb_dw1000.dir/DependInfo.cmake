@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dw1000/cir.cpp" "src/dw1000/CMakeFiles/uwb_dw1000.dir/cir.cpp.o" "gcc" "src/dw1000/CMakeFiles/uwb_dw1000.dir/cir.cpp.o.d"
+  "/root/repo/src/dw1000/cir_io.cpp" "src/dw1000/CMakeFiles/uwb_dw1000.dir/cir_io.cpp.o" "gcc" "src/dw1000/CMakeFiles/uwb_dw1000.dir/cir_io.cpp.o.d"
+  "/root/repo/src/dw1000/clock.cpp" "src/dw1000/CMakeFiles/uwb_dw1000.dir/clock.cpp.o" "gcc" "src/dw1000/CMakeFiles/uwb_dw1000.dir/clock.cpp.o.d"
+  "/root/repo/src/dw1000/diagnostics.cpp" "src/dw1000/CMakeFiles/uwb_dw1000.dir/diagnostics.cpp.o" "gcc" "src/dw1000/CMakeFiles/uwb_dw1000.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/dw1000/energy.cpp" "src/dw1000/CMakeFiles/uwb_dw1000.dir/energy.cpp.o" "gcc" "src/dw1000/CMakeFiles/uwb_dw1000.dir/energy.cpp.o.d"
+  "/root/repo/src/dw1000/frame.cpp" "src/dw1000/CMakeFiles/uwb_dw1000.dir/frame.cpp.o" "gcc" "src/dw1000/CMakeFiles/uwb_dw1000.dir/frame.cpp.o.d"
+  "/root/repo/src/dw1000/phy_config.cpp" "src/dw1000/CMakeFiles/uwb_dw1000.dir/phy_config.cpp.o" "gcc" "src/dw1000/CMakeFiles/uwb_dw1000.dir/phy_config.cpp.o.d"
+  "/root/repo/src/dw1000/pulse.cpp" "src/dw1000/CMakeFiles/uwb_dw1000.dir/pulse.cpp.o" "gcc" "src/dw1000/CMakeFiles/uwb_dw1000.dir/pulse.cpp.o.d"
+  "/root/repo/src/dw1000/registers.cpp" "src/dw1000/CMakeFiles/uwb_dw1000.dir/registers.cpp.o" "gcc" "src/dw1000/CMakeFiles/uwb_dw1000.dir/registers.cpp.o.d"
+  "/root/repo/src/dw1000/timestamping.cpp" "src/dw1000/CMakeFiles/uwb_dw1000.dir/timestamping.cpp.o" "gcc" "src/dw1000/CMakeFiles/uwb_dw1000.dir/timestamping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uwb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/uwb_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

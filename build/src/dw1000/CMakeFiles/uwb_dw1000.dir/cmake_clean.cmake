@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uwb_dw1000.dir/cir.cpp.o"
+  "CMakeFiles/uwb_dw1000.dir/cir.cpp.o.d"
+  "CMakeFiles/uwb_dw1000.dir/cir_io.cpp.o"
+  "CMakeFiles/uwb_dw1000.dir/cir_io.cpp.o.d"
+  "CMakeFiles/uwb_dw1000.dir/clock.cpp.o"
+  "CMakeFiles/uwb_dw1000.dir/clock.cpp.o.d"
+  "CMakeFiles/uwb_dw1000.dir/diagnostics.cpp.o"
+  "CMakeFiles/uwb_dw1000.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/uwb_dw1000.dir/energy.cpp.o"
+  "CMakeFiles/uwb_dw1000.dir/energy.cpp.o.d"
+  "CMakeFiles/uwb_dw1000.dir/frame.cpp.o"
+  "CMakeFiles/uwb_dw1000.dir/frame.cpp.o.d"
+  "CMakeFiles/uwb_dw1000.dir/phy_config.cpp.o"
+  "CMakeFiles/uwb_dw1000.dir/phy_config.cpp.o.d"
+  "CMakeFiles/uwb_dw1000.dir/pulse.cpp.o"
+  "CMakeFiles/uwb_dw1000.dir/pulse.cpp.o.d"
+  "CMakeFiles/uwb_dw1000.dir/registers.cpp.o"
+  "CMakeFiles/uwb_dw1000.dir/registers.cpp.o.d"
+  "CMakeFiles/uwb_dw1000.dir/timestamping.cpp.o"
+  "CMakeFiles/uwb_dw1000.dir/timestamping.cpp.o.d"
+  "libuwb_dw1000.a"
+  "libuwb_dw1000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uwb_dw1000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for uwb_dw1000.
+# This may be replaced when dependencies are built.

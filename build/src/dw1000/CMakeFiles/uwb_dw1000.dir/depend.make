@@ -1,0 +1,2 @@
+# Empty dependencies file for uwb_dw1000.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/image_source.cpp" "src/geom/CMakeFiles/uwb_geom.dir/image_source.cpp.o" "gcc" "src/geom/CMakeFiles/uwb_geom.dir/image_source.cpp.o.d"
+  "/root/repo/src/geom/materials.cpp" "src/geom/CMakeFiles/uwb_geom.dir/materials.cpp.o" "gcc" "src/geom/CMakeFiles/uwb_geom.dir/materials.cpp.o.d"
+  "/root/repo/src/geom/room.cpp" "src/geom/CMakeFiles/uwb_geom.dir/room.cpp.o" "gcc" "src/geom/CMakeFiles/uwb_geom.dir/room.cpp.o.d"
+  "/root/repo/src/geom/vec2.cpp" "src/geom/CMakeFiles/uwb_geom.dir/vec2.cpp.o" "gcc" "src/geom/CMakeFiles/uwb_geom.dir/vec2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uwb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

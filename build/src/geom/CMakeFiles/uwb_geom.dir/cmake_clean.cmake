@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uwb_geom.dir/image_source.cpp.o"
+  "CMakeFiles/uwb_geom.dir/image_source.cpp.o.d"
+  "CMakeFiles/uwb_geom.dir/materials.cpp.o"
+  "CMakeFiles/uwb_geom.dir/materials.cpp.o.d"
+  "CMakeFiles/uwb_geom.dir/room.cpp.o"
+  "CMakeFiles/uwb_geom.dir/room.cpp.o.d"
+  "CMakeFiles/uwb_geom.dir/vec2.cpp.o"
+  "CMakeFiles/uwb_geom.dir/vec2.cpp.o.d"
+  "libuwb_geom.a"
+  "libuwb_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uwb_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uwb_loc.dir/anchor_system.cpp.o"
+  "CMakeFiles/uwb_loc.dir/anchor_system.cpp.o.d"
+  "CMakeFiles/uwb_loc.dir/multilateration.cpp.o"
+  "CMakeFiles/uwb_loc.dir/multilateration.cpp.o.d"
+  "CMakeFiles/uwb_loc.dir/tracker.cpp.o"
+  "CMakeFiles/uwb_loc.dir/tracker.cpp.o.d"
+  "libuwb_loc.a"
+  "libuwb_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uwb_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ranging/capacity.cpp" "src/ranging/CMakeFiles/uwb_ranging.dir/capacity.cpp.o" "gcc" "src/ranging/CMakeFiles/uwb_ranging.dir/capacity.cpp.o.d"
+  "/root/repo/src/ranging/detector.cpp" "src/ranging/CMakeFiles/uwb_ranging.dir/detector.cpp.o" "gcc" "src/ranging/CMakeFiles/uwb_ranging.dir/detector.cpp.o.d"
+  "/root/repo/src/ranging/dstwr.cpp" "src/ranging/CMakeFiles/uwb_ranging.dir/dstwr.cpp.o" "gcc" "src/ranging/CMakeFiles/uwb_ranging.dir/dstwr.cpp.o.d"
+  "/root/repo/src/ranging/network.cpp" "src/ranging/CMakeFiles/uwb_ranging.dir/network.cpp.o" "gcc" "src/ranging/CMakeFiles/uwb_ranging.dir/network.cpp.o.d"
+  "/root/repo/src/ranging/protocol.cpp" "src/ranging/CMakeFiles/uwb_ranging.dir/protocol.cpp.o" "gcc" "src/ranging/CMakeFiles/uwb_ranging.dir/protocol.cpp.o.d"
+  "/root/repo/src/ranging/search_subtract.cpp" "src/ranging/CMakeFiles/uwb_ranging.dir/search_subtract.cpp.o" "gcc" "src/ranging/CMakeFiles/uwb_ranging.dir/search_subtract.cpp.o.d"
+  "/root/repo/src/ranging/session.cpp" "src/ranging/CMakeFiles/uwb_ranging.dir/session.cpp.o" "gcc" "src/ranging/CMakeFiles/uwb_ranging.dir/session.cpp.o.d"
+  "/root/repo/src/ranging/threshold_detector.cpp" "src/ranging/CMakeFiles/uwb_ranging.dir/threshold_detector.cpp.o" "gcc" "src/ranging/CMakeFiles/uwb_ranging.dir/threshold_detector.cpp.o.d"
+  "/root/repo/src/ranging/twr.cpp" "src/ranging/CMakeFiles/uwb_ranging.dir/twr.cpp.o" "gcc" "src/ranging/CMakeFiles/uwb_ranging.dir/twr.cpp.o.d"
+  "/root/repo/src/ranging/xcorr_id.cpp" "src/ranging/CMakeFiles/uwb_ranging.dir/xcorr_id.cpp.o" "gcc" "src/ranging/CMakeFiles/uwb_ranging.dir/xcorr_id.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uwb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/uwb_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dw1000/CMakeFiles/uwb_dw1000.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uwb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/uwb_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/uwb_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uwb_ranging.dir/capacity.cpp.o"
+  "CMakeFiles/uwb_ranging.dir/capacity.cpp.o.d"
+  "CMakeFiles/uwb_ranging.dir/detector.cpp.o"
+  "CMakeFiles/uwb_ranging.dir/detector.cpp.o.d"
+  "CMakeFiles/uwb_ranging.dir/dstwr.cpp.o"
+  "CMakeFiles/uwb_ranging.dir/dstwr.cpp.o.d"
+  "CMakeFiles/uwb_ranging.dir/network.cpp.o"
+  "CMakeFiles/uwb_ranging.dir/network.cpp.o.d"
+  "CMakeFiles/uwb_ranging.dir/protocol.cpp.o"
+  "CMakeFiles/uwb_ranging.dir/protocol.cpp.o.d"
+  "CMakeFiles/uwb_ranging.dir/search_subtract.cpp.o"
+  "CMakeFiles/uwb_ranging.dir/search_subtract.cpp.o.d"
+  "CMakeFiles/uwb_ranging.dir/session.cpp.o"
+  "CMakeFiles/uwb_ranging.dir/session.cpp.o.d"
+  "CMakeFiles/uwb_ranging.dir/threshold_detector.cpp.o"
+  "CMakeFiles/uwb_ranging.dir/threshold_detector.cpp.o.d"
+  "CMakeFiles/uwb_ranging.dir/twr.cpp.o"
+  "CMakeFiles/uwb_ranging.dir/twr.cpp.o.d"
+  "CMakeFiles/uwb_ranging.dir/xcorr_id.cpp.o"
+  "CMakeFiles/uwb_ranging.dir/xcorr_id.cpp.o.d"
+  "libuwb_ranging.a"
+  "libuwb_ranging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uwb_ranging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuwb_ranging.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uwb_sim.dir/medium.cpp.o"
+  "CMakeFiles/uwb_sim.dir/medium.cpp.o.d"
+  "CMakeFiles/uwb_sim.dir/node.cpp.o"
+  "CMakeFiles/uwb_sim.dir/node.cpp.o.d"
+  "CMakeFiles/uwb_sim.dir/simulator.cpp.o"
+  "CMakeFiles/uwb_sim.dir/simulator.cpp.o.d"
+  "libuwb_sim.a"
+  "libuwb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uwb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dstwr.dir/test_dstwr.cpp.o"
+  "CMakeFiles/test_dstwr.dir/test_dstwr.cpp.o.d"
+  "test_dstwr"
+  "test_dstwr.pdb"
+  "test_dstwr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dstwr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dw1000_cir.dir/test_dw1000_cir.cpp.o"
+  "CMakeFiles/test_dw1000_cir.dir/test_dw1000_cir.cpp.o.d"
+  "test_dw1000_cir"
+  "test_dw1000_cir.pdb"
+  "test_dw1000_cir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dw1000_cir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dw1000_clock.dir/test_dw1000_clock.cpp.o"
+  "CMakeFiles/test_dw1000_clock.dir/test_dw1000_clock.cpp.o.d"
+  "test_dw1000_clock"
+  "test_dw1000_clock.pdb"
+  "test_dw1000_clock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dw1000_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

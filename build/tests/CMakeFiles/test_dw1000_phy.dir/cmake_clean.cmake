@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dw1000_phy.dir/test_dw1000_phy.cpp.o"
+  "CMakeFiles/test_dw1000_phy.dir/test_dw1000_phy.cpp.o.d"
+  "test_dw1000_phy"
+  "test_dw1000_phy.pdb"
+  "test_dw1000_phy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dw1000_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

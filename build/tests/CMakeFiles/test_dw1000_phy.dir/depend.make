@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dw1000_phy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dw1000_pulse.dir/test_dw1000_pulse.cpp.o"
+  "CMakeFiles/test_dw1000_pulse.dir/test_dw1000_pulse.cpp.o.d"
+  "test_dw1000_pulse"
+  "test_dw1000_pulse.pdb"
+  "test_dw1000_pulse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dw1000_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_edge.dir/test_session_edge.cpp.o"
+  "CMakeFiles/test_session_edge.dir/test_session_edge.cpp.o.d"
+  "test_session_edge"
+  "test_session_edge.pdb"
+  "test_session_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tracker_csv.cpp" "tests/CMakeFiles/test_tracker_csv.dir/test_tracker_csv.cpp.o" "gcc" "tests/CMakeFiles/test_tracker_csv.dir/test_tracker_csv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/loc/CMakeFiles/uwb_loc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ranging/CMakeFiles/uwb_ranging.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uwb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/uwb_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/uwb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/dw1000/CMakeFiles/uwb_dw1000.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/uwb_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uwb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

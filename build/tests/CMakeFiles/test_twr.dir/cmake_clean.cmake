@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twr.dir/test_twr.cpp.o"
+  "CMakeFiles/test_twr.dir/test_twr.cpp.o.d"
+  "test_twr"
+  "test_twr.pdb"
+  "test_twr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xcorr_id.dir/test_xcorr_id.cpp.o"
+  "CMakeFiles/test_xcorr_id.dir/test_xcorr_id.cpp.o.d"
+  "test_xcorr_id"
+  "test_xcorr_id.pdb"
+  "test_xcorr_id[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xcorr_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

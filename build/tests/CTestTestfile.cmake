@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_session[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_signal[1]_include.cmake")
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_dw1000_clock[1]_include.cmake")
+include("/root/repo/build/tests/test_dw1000_pulse[1]_include.cmake")
+include("/root/repo/build/tests/test_dw1000_phy[1]_include.cmake")
+include("/root/repo/build/tests/test_dw1000_cir[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_detectors[1]_include.cmake")
+include("/root/repo/build/tests/test_twr[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_capacity[1]_include.cmake")
+include("/root/repo/build/tests/test_loc[1]_include.cmake")
+include("/root/repo/build/tests/test_dstwr[1]_include.cmake")
+include("/root/repo/build/tests/test_diagnostics[1]_include.cmake")
+include("/root/repo/build/tests/test_tracker_csv[1]_include.cmake")
+include("/root/repo/build/tests/test_session_rpm[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_session_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_registers[1]_include.cmake")
+include("/root/repo/build/tests/test_medium[1]_include.cmake")
+include("/root/repo/build/tests/test_xcorr_id[1]_include.cmake")
