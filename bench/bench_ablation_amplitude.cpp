@@ -30,62 +30,76 @@ bool friis_accepts(double amplitude, double distance_m, double ref_amp,
 
 int main(int argc, char** argv) {
   using namespace uwb;
-  const int trials = bench::trials_arg(argc, argv, 300);
+  const auto opts = bench::parse_options(argc, argv, 300);
+  bench::JsonReport report("ablation_amplitude", opts.trials);
   bench::heading(
       "Ablation — rank-based detection vs Friis power boundaries (challenge IV)");
-  std::printf("(%d rounds)\n", trials);
+  std::printf("(%d rounds)\n", opts.trials);
 
   // Responder 1 at 3 m, clear. Responder 2 at 8 m behind an obstacle that
   // attenuates its direct path by 9 dB — still the strongest copy of its
   // response, but far below what free-space propagation would predict.
-  ranging::ScenarioConfig cfg = bench::office_scenario(902);
-  cfg.room = geom::Room::rectangular(14.0, 8.0, 12.0);
-  cfg.room.add_obstacle({{{7.0, 3.2}, {7.0, 4.8}}, 9.0, "blocked LOS"});
-  cfg.initiator_position = {2.0, 4.0};
-  cfg.responders = {{0, {5.0, 4.0}}, {1, {10.0, 4.0}}};
-  // Extract a couple of extra peaks: the attenuated response may rank below
-  // strong MPCs; the question is which *acceptance rule* keeps the right peaks.
-  cfg.detect_max_responses = 4;
-  ranging::ConcurrentRangingScenario scenario(cfg);
   const double d2_true = 8.0;
+  const auto result = bench::run_rounds(
+      opts, 902, opts.trials,
+      [](std::uint64_t seed) {
+        ranging::ScenarioConfig cfg = bench::office_scenario(seed);
+        cfg.room = geom::Room::rectangular(14.0, 8.0, 12.0);
+        cfg.room.add_obstacle({{{7.0, 3.2}, {7.0, 4.8}}, 9.0, "blocked LOS"});
+        cfg.initiator_position = {2.0, 4.0};
+        cfg.responders = {{0, {5.0, 4.0}}, {1, {10.0, 4.0}}};
+        // Extract a couple of extra peaks: the attenuated response may rank
+        // below strong MPCs; the question is which *acceptance rule* keeps
+        // the right peaks.
+        cfg.detect_max_responses = 4;
+        return cfg;
+      },
+      [d2_true](const ranging::ConcurrentRangingScenario&,
+                const ranging::RoundOutcome& out, runner::TrialRecorder& rec) {
+        if (!out.payload_decoded || out.estimates.empty()) return;
+        rec.count("rounds");
+        const auto& sync = out.estimates.front();
+        for (std::size_t i = 1; i < out.estimates.size(); ++i) {
+          const auto& est = out.estimates[i];
+          const bool is_resp2 = std::abs(est.distance_m - d2_true) < 0.8;
+          const bool accepted_friis =
+              friis_accepts(est.amplitude, est.distance_m, sync.amplitude,
+                            out.d_twr_m, 6.0);
+          if (is_resp2) {
+            rec.count("rank_ok");  // rank-based: every extraction is accepted
+            if (accepted_friis) rec.count("friis_ok");
+          } else if (accepted_friis) {
+            rec.count("friis_false_accept");  // MPC mistaken for a response
+          }
+        }
+      });
 
-  int rounds = 0, rank_ok = 0, friis_ok = 0, friis_false_accept = 0;
-  for (int t = 0; t < trials; ++t) {
-    const auto out = scenario.run_round();
-    if (!out.payload_decoded || out.estimates.empty()) continue;
-    ++rounds;
-    const auto& sync = out.estimates.front();
+  const auto rounds = result.counter("rounds");
+  const double denom = rounds ? static_cast<double>(rounds) : 1.0;
+  const double rank_pct = 100.0 * static_cast<double>(result.counter("rank_ok")) / denom;
+  const double friis_pct = 100.0 * static_cast<double>(result.counter("friis_ok")) / denom;
+  const double false_per_round =
+      static_cast<double>(result.counter("friis_false_accept")) / denom;
 
-    for (std::size_t i = 1; i < out.estimates.size(); ++i) {
-      const auto& est = out.estimates[i];
-      const bool is_resp2 = std::abs(est.distance_m - d2_true) < 0.8;
-      const bool accepted_friis =
-          friis_accepts(est.amplitude, est.distance_m, sync.amplitude,
-                        out.d_twr_m, 6.0);
-      if (is_resp2) {
-        ++rank_ok;  // rank-based: every extracted response is accepted
-        if (accepted_friis) ++friis_ok;
-      } else if (accepted_friis) {
-        ++friis_false_accept;  // an MPC that Friis mistakes for a response
-      }
-    }
-  }
-
-  std::printf("\ncompleted rounds: %d\n", rounds);
+  std::printf("\ncompleted rounds: %lld\n", static_cast<long long>(rounds));
   std::printf("%-46s %6.1f %%\n",
               "responder 2 found, rank-based (search&subtract)",
-              rounds ? 100.0 * rank_ok / rounds : 0.0);
+              rounds ? rank_pct : 0.0);
   std::printf("%-46s %6.1f %%\n",
               "responder 2 surviving Friis power boundary",
-              rounds ? 100.0 * friis_ok / rounds : 0.0);
+              rounds ? friis_pct : 0.0);
   std::printf("%-46s %6.2f per round\n",
               "MPCs falsely accepted by the Friis boundary",
-              rounds ? static_cast<double>(friis_false_accept) / rounds : 0.0);
+              rounds ? false_per_round : 0.0);
+
+  report.metric("rank_found_pct", rounds ? rank_pct : 0.0);
+  report.metric("friis_found_pct", rounds ? friis_pct : 0.0);
+  report.metric("friis_false_per_round", rounds ? false_per_round : 0.0);
 
   std::printf(
       "\npaper check (challenge IV): power boundaries reject the attenuated\n"
       "responder (its response sits far below the free-space prediction)\n"
       "while the rank-based detector keeps it — amplitude-independent\n"
       "detection is necessary in obstructed environments.\n");
-  return 0;
+  return report.write_if_requested(opts) ? 0 : 1;
 }

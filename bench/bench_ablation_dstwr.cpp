@@ -3,8 +3,13 @@
 // over the 290 us reply time; double-sided TWR cancels drift structurally
 // at the cost of a third message. This bench sweeps the crystal quality and
 // compares all three variants on the same simulated radios at 5 m.
+//
+// Each Monte-Carlo trial builds a fresh session (independent crystal draw)
+// and runs one round, so the drift statistics — not a single draw — shape
+// the result.
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "dsp/stats.hpp"
@@ -14,65 +19,55 @@ namespace {
 
 using namespace uwb;
 
-struct Stats {
-  double rms = 0.0, sigma = 0.0;
-  int n = 0;
-};
-
-Stats stats_of(const RVec& errs) {
-  if (errs.empty()) return {};
-  return {dsp::rms(errs), dsp::stddev(errs), static_cast<int>(errs.size())};
+RVec run_ss_twr(const bench::BenchOptions& opts, double drift_ppm,
+                bool cfo_correction, std::uint64_t seed) {
+  const auto result = bench::run_rounds(
+      opts, seed, opts.trials,
+      [&](std::uint64_t trial_seed) {
+        ranging::ScenarioConfig cfg;
+        cfg.room = geom::Room::rectangular(30.0, 10.0, 12.0);
+        cfg.initiator_position = {2.0, 5.0};
+        cfg.responders = {{0, {7.0, 5.0}}};
+        cfg.clock_drift_sigma_ppm = drift_ppm;
+        cfg.cfo_correction = cfo_correction;
+        cfg.seed = trial_seed;
+        return cfg;
+      },
+      [](const ranging::ConcurrentRangingScenario&,
+         const ranging::RoundOutcome& out, runner::TrialRecorder& rec) {
+        if (out.payload_decoded) rec.sample("err", out.d_twr_m - 5.0);
+      });
+  return result.samples("err");
 }
 
-// Each session draws one crystal pair; average over many sessions so the
-// drift statistics (not a single draw) shape the result.
-constexpr int kSessions = 20;
-
-RVec run_ss_twr(double drift_ppm, bool cfo_correction, int trials,
+RVec run_ds_twr(const bench::BenchOptions& opts, double drift_ppm,
                 std::uint64_t seed) {
-  RVec errs;
-  for (int s = 0; s < kSessions; ++s) {
-    ranging::ScenarioConfig cfg;
-    cfg.room = geom::Room::rectangular(30.0, 10.0, 12.0);
-    cfg.initiator_position = {2.0, 5.0};
-    cfg.responders = {{0, {7.0, 5.0}}};
-    cfg.clock_drift_sigma_ppm = drift_ppm;
-    cfg.cfo_correction = cfo_correction;
-    cfg.seed = seed + static_cast<std::uint64_t>(s) * 101;
-    ranging::ConcurrentRangingScenario scenario(cfg);
-    for (int t = 0; t < trials / kSessions + 1; ++t) {
-      const auto out = scenario.run_round();
-      if (out.payload_decoded) errs.push_back(out.d_twr_m - 5.0);
-    }
-  }
-  return errs;
+  const auto result = bench::monte_carlo(opts, seed).run(
+      opts.trials, [&](const runner::TrialContext& ctx,
+                       runner::TrialRecorder& rec) {
+        ranging::DsTwrSessionConfig cfg;
+        cfg.room = geom::Room::rectangular(30.0, 10.0, 12.0);
+        cfg.initiator_position = {2.0, 5.0};
+        cfg.responder_position = {7.0, 5.0};
+        cfg.clock_drift_sigma_ppm = drift_ppm;
+        cfg.seed = ctx.seed;
+        ranging::DsTwrSession session(cfg);
+        const auto r = session.run_round();
+        if (r.ok) rec.sample("err", r.distance_m - 5.0);
+      });
+  return result.samples("err");
 }
 
-RVec run_ds_twr(double drift_ppm, int trials, std::uint64_t seed) {
-  RVec errs;
-  for (int s = 0; s < kSessions; ++s) {
-    ranging::DsTwrSessionConfig cfg;
-    cfg.room = geom::Room::rectangular(30.0, 10.0, 12.0);
-    cfg.initiator_position = {2.0, 5.0};
-    cfg.responder_position = {7.0, 5.0};
-    cfg.clock_drift_sigma_ppm = drift_ppm;
-    cfg.seed = seed + static_cast<std::uint64_t>(s) * 101;
-    ranging::DsTwrSession session(cfg);
-    for (int t = 0; t < trials / kSessions + 1; ++t) {
-      const auto r = session.run_round();
-      if (r.ok) errs.push_back(r.distance_m - 5.0);
-    }
-  }
-  return errs;
-}
+double rms_of(const RVec& errs) { return errs.empty() ? 0.0 : dsp::rms(errs); }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace uwb;
-  const int trials = bench::trials_arg(argc, argv, 250);
+  const auto opts = bench::parse_options(argc, argv, 250);
+  bench::JsonReport report("ablation_dstwr", opts.trials);
   bench::heading("Ablation — SS-TWR vs CFO-corrected SS-TWR vs DS-TWR (5 m)");
-  std::printf("(%d rounds per scheme per drift level)\n", trials);
+  std::printf("(%d rounds per scheme per drift level)\n", opts.trials);
 
   std::printf("\n%-14s %-20s %-20s %-20s\n", "drift sigma", "SS-TWR raw",
               "SS-TWR + CFO", "DS-TWR");
@@ -83,11 +78,14 @@ int main(int argc, char** argv) {
   // scales as c * (relative drift) * T_reply / 2.
   for (const double drift_ppm : {0.5, 2.0, 5.0, 10.0, 20.0}) {
     const auto seed = 1200 + static_cast<std::uint64_t>(drift_ppm * 10.0);
-    const Stats raw = stats_of(run_ss_twr(drift_ppm, false, trials, seed));
-    const Stats cfo = stats_of(run_ss_twr(drift_ppm, true, trials, seed + 1));
-    const Stats dst = stats_of(run_ds_twr(drift_ppm, trials, seed + 2));
-    std::printf("%-14.1f %-20.3f %-20.3f %-20.3f\n", drift_ppm, raw.rms,
-                cfo.rms, dst.rms);
+    const double raw = rms_of(run_ss_twr(opts, drift_ppm, false, seed));
+    const double cfo = rms_of(run_ss_twr(opts, drift_ppm, true, seed + 1));
+    const double dst = rms_of(run_ds_twr(opts, drift_ppm, seed + 2));
+    std::printf("%-14.1f %-20.3f %-20.3f %-20.3f\n", drift_ppm, raw, cfo, dst);
+    const std::string key = std::to_string(static_cast<int>(drift_ppm * 10.0));
+    report.metric("raw_rms_m_ppm" + key, raw);
+    report.metric("cfo_rms_m_ppm" + key, cfo);
+    report.metric("dstwr_rms_m_ppm" + key, dst);
   }
 
   std::printf(
@@ -96,5 +94,5 @@ int main(int argc, char** argv) {
       "both hold centimetre precision. Concurrent ranging inherits the\n"
       "correction because the initiator estimates the CFO from the\n"
       "aggregated response it decodes.\n");
-  return 0;
+  return report.write_if_requested(opts) ? 0 : 1;
 }

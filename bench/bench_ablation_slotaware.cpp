@@ -29,64 +29,70 @@ ranging::ScenarioConfig fig8_scenario(std::uint64_t seed) {
   return cfg;
 }
 
-struct Score {
-  int rounds = 0;
-  int decoded_ids = 0;   // unique correct IDs with accurate distance
-  int wrong_ids = 0;     // IDs decoded with a wrong distance
-};
-
-Score evaluate(bool slot_aware, int trials, std::uint64_t seed) {
-  ranging::ScenarioConfig cfg = fig8_scenario(seed);
-  if (slot_aware) {
-    cfg.detect_max_responses = 16;  // extract generously, then collapse
-    cfg.slot_aware_selection = true;
-  }
-  ranging::ConcurrentRangingScenario scenario(cfg);
-  Score score;
-  for (int t = 0; t < trials; ++t) {
-    const auto out = scenario.run_round();
-    if (!out.payload_decoded) continue;
-    ++score.rounds;
-    std::vector<bool> seen(9, false);
-    for (const auto& est : out.estimates) {
-      if (est.responder_id < 0 || est.responder_id > 8) continue;
-      if (seen[static_cast<std::size_t>(est.responder_id)]) continue;
-      seen[static_cast<std::size_t>(est.responder_id)] = true;
-      const double truth = scenario.true_distance(est.responder_id);
-      if (std::abs(est.distance_m - truth) < 1.0)
-        ++score.decoded_ids;
-      else
-        ++score.wrong_ids;
-    }
-  }
-  return score;
+runner::TrialResult evaluate(const bench::BenchOptions& opts,
+                             bool slot_aware) {
+  return bench::run_rounds(
+      opts, 1300, opts.trials,
+      [slot_aware](std::uint64_t seed) {
+        ranging::ScenarioConfig cfg = fig8_scenario(seed);
+        if (slot_aware) {
+          cfg.detect_max_responses = 16;  // extract generously, then collapse
+          cfg.slot_aware_selection = true;
+        }
+        return cfg;
+      },
+      [](const ranging::ConcurrentRangingScenario& scenario,
+         const ranging::RoundOutcome& out, runner::TrialRecorder& rec) {
+        if (!out.payload_decoded) return;
+        rec.count("rounds");
+        std::vector<bool> seen(9, false);
+        for (const auto& est : out.estimates) {
+          if (est.responder_id < 0 || est.responder_id > 8) continue;
+          if (seen[static_cast<std::size_t>(est.responder_id)]) continue;
+          seen[static_cast<std::size_t>(est.responder_id)] = true;
+          const double truth = scenario.true_distance(est.responder_id);
+          if (std::abs(est.distance_m - truth) < 1.0)
+            rec.count("decoded_ids");
+          else
+            rec.count("wrong_ids");
+        }
+      });
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace uwb;
-  const int trials = bench::trials_arg(argc, argv, 150);
+  const auto opts = bench::parse_options(argc, argv, 150);
+  bench::JsonReport report("ablation_slotaware", opts.trials);
   bench::heading("Ablation — slot-aware selection at full Fig. 8 load");
   std::printf("(9 responders, 4 slots x 3 shapes, %d rounds per variant)\n",
-              trials);
+              opts.trials);
 
   std::printf("\n%-34s %-18s %s\n", "variant", "IDs ranged", "wrong distance");
   for (const bool slot_aware : {false, true}) {
-    const Score s = evaluate(slot_aware, trials, 1300);
+    const auto s = evaluate(opts, slot_aware);
+    const auto rounds = s.counter("rounds");
     const double per_round =
-        s.rounds ? static_cast<double>(s.decoded_ids) / s.rounds : 0.0;
-    const double wrong =
-        s.rounds ? static_cast<double>(s.wrong_ids) / s.rounds : 0.0;
+        rounds ? static_cast<double>(s.counter("decoded_ids")) /
+                     static_cast<double>(rounds)
+               : 0.0;
+    const double wrong = rounds
+                             ? static_cast<double>(s.counter("wrong_ids")) /
+                                   static_cast<double>(rounds)
+                             : 0.0;
     std::printf("%-34s %5.2f / 9 per round  %.2f per round\n",
                 slot_aware ? "slot-aware (extract 16, collapse)"
                            : "paper baseline (global top N-1)",
                 per_round, wrong);
+    const char* key = slot_aware ? "slotaware" : "baseline";
+    report.metric(std::string(key) + "_ids_per_round", per_round);
+    report.metric(std::string(key) + "_wrong_per_round", wrong);
   }
 
   std::printf(
       "\ncheck: collapsing per decoded identity recovers responders whose\n"
       "direct path ranked below another responder's multipath, without any\n"
       "change on the air.\n");
-  return 0;
+  return report.write_if_requested(opts) ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 // truncation-free next-generation transceiver would recover.
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "dsp/stats.hpp"
@@ -12,12 +13,6 @@
 namespace {
 
 using namespace uwb;
-
-struct Result {
-  RVec err_twr, err_d2, err_d3;
-  int rounds = 0;
-  int missed = 0;  // rounds where a responder was displaced by multipath
-};
 
 // Error of the estimate nearest `truth`, if within 1.5 m; detection
 // substitutions (a diffuse spike of a closer responder out-ranking a far
@@ -37,30 +32,32 @@ bool matched_error(const ranging::RoundOutcome& out, double truth, double* err) 
   return found;
 }
 
-Result run(bool truncation, int trials, std::uint64_t seed) {
-  ranging::ScenarioConfig cfg = bench::hallway_scenario(seed);
-  cfg.responders = {{0, bench::hallway_at(3.0)},
-                    {1, bench::hallway_at(6.0)},
-                    {2, bench::hallway_at(10.0)}};
-  cfg.delayed_tx_truncation = truncation;
-  ranging::ConcurrentRangingScenario scenario(cfg);
-  Result r;
-  for (int t = 0; t < trials; ++t) {
-    const auto out = scenario.run_round();
-    if (!out.payload_decoded) continue;
-    ++r.rounds;
-    r.err_twr.push_back(out.d_twr_m - 3.0);
-    double e2 = 0.0, e3 = 0.0;
-    const bool ok2 = matched_error(out, 6.0, &e2);
-    const bool ok3 = matched_error(out, 10.0, &e3);
-    if (ok2) r.err_d2.push_back(e2);
-    if (ok3) r.err_d3.push_back(e3);
-    if (!ok2 || !ok3) ++r.missed;
-  }
-  return r;
+runner::TrialResult run(const bench::BenchOptions& opts, bool truncation) {
+  return bench::run_rounds(
+      opts, 901, opts.trials,
+      [truncation](std::uint64_t seed) {
+        ranging::ScenarioConfig cfg = bench::hallway_scenario(seed);
+        cfg.responders = {{0, bench::hallway_at(3.0)},
+                          {1, bench::hallway_at(6.0)},
+                          {2, bench::hallway_at(10.0)}};
+        cfg.delayed_tx_truncation = truncation;
+        return cfg;
+      },
+      [](const ranging::ConcurrentRangingScenario&,
+         const ranging::RoundOutcome& out, runner::TrialRecorder& rec) {
+        if (!out.payload_decoded) return;
+        rec.count("rounds");
+        rec.sample("err_twr", out.d_twr_m - 3.0);
+        double e2 = 0.0, e3 = 0.0;
+        const bool ok2 = matched_error(out, 6.0, &e2);
+        const bool ok3 = matched_error(out, 10.0, &e3);
+        if (ok2) rec.sample("err_d2", e2);
+        if (ok3) rec.sample("err_d3", e3);
+        if (!ok2 || !ok3) rec.count("missed");
+      });
 }
 
-void report(const char* label, const RVec& errs) {
+void print_row(const char* label, const RVec& errs) {
   if (errs.empty()) {
     std::printf("%-24s (no data)\n", label);
     return;
@@ -73,22 +70,31 @@ void report(const char* label, const RVec& errs) {
 
 int main(int argc, char** argv) {
   using namespace uwb;
-  const int trials = bench::trials_arg(argc, argv, 400);
+  const auto opts = bench::parse_options(argc, argv, 400);
+  bench::JsonReport report("ablation_txquant", opts.trials);
   bench::heading("Ablation — delayed-TX truncation on/off (3/6/10 m)");
-  std::printf("(%d rounds per configuration)\n", trials);
+  std::printf("(%d rounds per configuration)\n", opts.trials);
 
   for (const bool truncation : {true, false}) {
     bench::subheading(truncation
                           ? "truncation ON (DW1000 hardware, ~8 ns grid)"
                           : "truncation OFF (ideal next-gen transceiver)");
-    const Result r = run(truncation, trials, 901);
+    const auto r = run(opts, truncation);
     std::printf("%-24s %10s %12s %12s\n", "estimate", "mean [m]",
                 "sigma [m]", "rms [m]");
-    report("d1 = 3 m (SS-TWR)", r.err_twr);
-    report("d2 = 6 m (CIR)", r.err_d2);
-    report("d3 = 10 m (CIR)", r.err_d3);
-    std::printf("multipath substitutions: %d / %d rounds\n", r.missed,
-                r.rounds);
+    print_row("d1 = 3 m (SS-TWR)", r.samples("err_twr"));
+    print_row("d2 = 6 m (CIR)", r.samples("err_d2"));
+    print_row("d3 = 10 m (CIR)", r.samples("err_d3"));
+    std::printf("multipath substitutions: %lld / %lld rounds\n",
+                static_cast<long long>(r.counter("missed")),
+                static_cast<long long>(r.counter("rounds")));
+    const std::string key = truncation ? "trunc_on" : "trunc_off";
+    for (const char* m : {"err_twr", "err_d2", "err_d3"}) {
+      const auto& errs = r.samples(m);
+      if (!errs.empty())
+        report.metric(key + "_" + m + "_rms_m", dsp::rms(errs));
+    }
+    report.metric(key + "_missed", static_cast<double>(r.counter("missed")));
   }
 
   std::printf(
@@ -97,5 +103,5 @@ int main(int argc, char** argv) {
       "the +-8 ns grid — and collapse to centimetres once it is removed.\n"
       "This substantiates the paper's remark that the limitation is purely\n"
       "hardware-dependent.\n");
-  return 0;
+  return report.write_if_requested(opts) ? 0 : 1;
 }

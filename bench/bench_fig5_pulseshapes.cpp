@@ -10,8 +10,10 @@
 #include "dsp/signal.hpp"
 #include "dw1000/pulse.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uwb;
+  const auto opts = bench::parse_options(argc, argv, 1);
+  bench::JsonReport report("fig5_pulseshapes", opts.trials);
   bench::heading("Fig. 5 — pulse shapes per TC_PGDELAY register");
 
   const std::vector<std::pair<const char*, std::uint8_t>> shapes = {
@@ -52,6 +54,7 @@ int main() {
   std::printf("%8s", "");
   for (const auto& [name, reg] : shapes) std::printf("  0x%02X ", reg);
   std::printf("\n");
+  double worst_offdiag = 0.0;
   for (std::size_t i = 0; i < unit.size(); ++i) {
     std::printf("  0x%02X  ", shapes[i].second);
     for (std::size_t j = 0; j < unit.size(); ++j) {
@@ -66,10 +69,15 @@ int main() {
                  std::conj(unit[j][static_cast<std::size_t>(m - lag)]);
         best = std::max(best, std::abs(acc));
       }
+      if (i != j) worst_offdiag = std::max(worst_offdiag, best);
       std::printf("%6.3f ", best);
     }
     std::printf("\n");
   }
+
+  report.param("shapes", static_cast<double>(shapes.size()));
+  report.metric("max_cross_correlation", worst_offdiag);
+  report.metric("default_bandwidth_mhz", dw::pulse_bandwidth_hz(0x93) / 1e6);
 
   std::printf(
       "\npaper check: the default 0x93 is the narrowest (900 MHz); larger\n"
@@ -77,5 +85,5 @@ int main() {
       "structure, making the %d available shapes distinguishable by matched\n"
       "filtering.\n",
       uwb::k::num_pulse_shapes);
-  return 0;
+  return report.write_if_requested(opts) ? 0 : 1;
 }

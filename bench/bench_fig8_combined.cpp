@@ -3,18 +3,16 @@
 // and N_PS = 3 pulse shapes (capacity N_max = 12).
 #include <cmath>
 #include <cstdio>
-#include <map>
 
 #include "bench_util.hpp"
 #include "dsp/stats.hpp"
 #include "ranging/capacity.hpp"
 
-int main(int argc, char** argv) {
-  using namespace uwb;
-  const int trials = bench::trials_arg(argc, argv, 100);
-  bench::heading("Fig. 8 — RPM x pulse shaping, 9 users in one round");
+namespace {
 
-  ranging::ScenarioConfig cfg = bench::hallway_scenario(808);
+uwb::ranging::ScenarioConfig fig8_config(std::uint64_t seed) {
+  using namespace uwb;
+  ranging::ScenarioConfig cfg = bench::hallway_scenario(seed);
   cfg.room = geom::Room::rectangular(16.0, 10.0, 10.0);
   cfg.initiator_position = {1.0, 5.0};
   cfg.ranging.num_slots = 4;
@@ -25,6 +23,18 @@ int main(int argc, char** argv) {
       {3, {11.0, 4.0}}, {4, {5.5, 7.5}},  {5, {8.0, 2.5}},
       {6, {12.5, 6.5}}, {7, {14.0, 5.0}}, {8, {7.0, 5.5}},
   };
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace uwb;
+  const auto opts = bench::parse_options(argc, argv, 100);
+  bench::JsonReport report("fig8_combined", opts.trials);
+  bench::heading("Fig. 8 — RPM x pulse shaping, 9 users in one round");
+
+  const ranging::ScenarioConfig cfg = fig8_config(808);
 
   bench::subheading("slot x shape assignment (IDs 0-8 of capacity 12)");
   std::printf("%-6s %-6s %-10s %-12s %s\n", "ID", "slot", "shape",
@@ -36,57 +46,75 @@ int main(int argc, char** argv) {
                 geom::distance(cfg.initiator_position, spec.position));
   }
 
-  ranging::ConcurrentRangingScenario scenario(cfg);
-
-  std::map<int, RVec> errors_by_id;
-  int decoded_rounds = 0, id_correct = 0, id_total = 0;
-  for (int t = 0; t < trials; ++t) {
-    const auto out = scenario.run_round();
-    if (!out.payload_decoded) continue;
-    ++decoded_rounds;
-    for (const auto& est : out.estimates) {
-      if (est.responder_id < 0) continue;
-      ++id_total;
-      bool known = false;
-      double truth = 0.0;
-      for (const auto& spec : cfg.responders)
-        if (spec.id == est.responder_id) {
-          truth = scenario.true_distance(spec.id);
-          known = true;
+  const auto result = bench::run_rounds(
+      opts, 808, opts.trials, fig8_config,
+      [&](const ranging::ConcurrentRangingScenario& scenario,
+          const ranging::RoundOutcome& out, runner::TrialRecorder& rec) {
+        if (!out.payload_decoded) return;
+        rec.count("decoded_rounds");
+        for (const auto& est : out.estimates) {
+          if (est.responder_id < 0) continue;
+          rec.count("id_total");
+          bool known = false;
+          for (const auto& spec : cfg.responders)
+            if (spec.id == est.responder_id) known = true;
+          if (!known) continue;
+          const double truth = scenario.true_distance(est.responder_id);
+          if (std::abs(est.distance_m - truth) < 1.5) {
+            rec.count("id_correct");
+            rec.sample("err_id" + std::to_string(est.responder_id),
+                       est.distance_m - truth);
+          }
         }
-      if (!known) continue;
-      if (std::abs(est.distance_m - truth) < 1.5) {
-        ++id_correct;
-        errors_by_id[est.responder_id].push_back(est.distance_m - truth);
-      }
-    }
-  }
+      });
 
-  bench::subheading("per-responder results over " + std::to_string(trials) +
-                    " rounds");
+  bench::subheading("per-responder results over " +
+                    std::to_string(opts.trials) + " rounds");
   std::printf("%-6s %-14s %-14s %-12s %s\n", "ID", "true dist [m]",
               "mean est [m]", "bias [m]", "rounds decoded");
+  // One throwaway scenario just for the geometric truths (deterministic).
+  const ranging::ConcurrentRangingScenario truth_scenario(cfg);
   for (const auto& spec : cfg.responders) {
-    const auto it = errors_by_id.find(spec.id);
-    const double truth = scenario.true_distance(spec.id);
-    if (it == errors_by_id.end() || it->second.empty()) {
+    const auto& errs =
+        result.samples("err_id" + std::to_string(spec.id));
+    const double truth = truth_scenario.true_distance(spec.id);
+    if (errs.empty()) {
       std::printf("%-6d %-14.2f (never decoded)\n", spec.id, truth);
       continue;
     }
-    const double bias = dsp::mean(it->second);
+    const double bias = dsp::mean(errs);
     std::printf("%-6d %-14.2f %-14.2f %-12.3f %zu\n", spec.id, truth,
-                truth + bias, bias, it->second.size());
+                truth + bias, bias, errs.size());
+    report.metric("bias_id" + std::to_string(spec.id) + "_m", bias);
   }
 
-  std::printf("\nrounds with decoded payload : %d / %d\n", decoded_rounds, trials);
+  const auto decoded_rounds = result.counter("decoded_rounds");
+  const auto id_correct = result.counter("id_correct");
+  const auto id_total = result.counter("id_total");
+  std::printf("\nrounds with decoded payload : %lld / %d\n",
+              static_cast<long long>(decoded_rounds), opts.trials);
   if (id_total > 0)
-    std::printf("identity decode accuracy    : %.1f %% (%d / %d detections)\n",
-                100.0 * id_correct / id_total, id_correct, id_total);
-  const dw::PhyConfig phy;
+    std::printf("identity decode accuracy    : %.1f %% (%lld / %lld detections)\n",
+                100.0 * static_cast<double>(id_correct) /
+                    static_cast<double>(id_total),
+                static_cast<long long>(id_correct),
+                static_cast<long long>(id_total));
   std::printf("capacity N_max = N_RPM * N_PS = %d (9 of 12 used, as in Fig. 8)\n",
               ranging::max_concurrent_responders(4, 3));
+  std::printf("(%.1f ms on %d threads)\n", result.wall_ms(),
+              result.threads_used());
   std::printf(
       "\npaper check: one TX + one RX at the initiator yields identified\n"
       "distance estimates to all nine responders simultaneously.\n");
-  return 0;
+
+  report.param("responders", 9.0);
+  report.param("num_slots", 4.0);
+  report.param("num_shapes", 3.0);
+  report.metric("decoded_rounds", static_cast<double>(decoded_rounds));
+  report.metric("id_accuracy_pct",
+                id_total > 0 ? 100.0 * static_cast<double>(id_correct) /
+                                   static_cast<double>(id_total)
+                             : 0.0);
+  report.metric("mc_wall_ms", result.wall_ms());
+  return report.write_if_requested(opts) ? 0 : 1;
 }

@@ -3,6 +3,8 @@
 // *at run time*, so the detector must be fast enough for embedded use.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "common/constants.hpp"
 #include "common/random.hpp"
 #include "dsp/fft.hpp"
@@ -12,6 +14,7 @@
 #include "dw1000/pulse.hpp"
 #include "ranging/search_subtract.hpp"
 #include "ranging/threshold_detector.hpp"
+#include "runner/thread_pool.hpp"
 #include "bench_util.hpp"
 
 namespace {
@@ -120,6 +123,78 @@ void BM_FullConcurrentRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullConcurrentRound);
+
+// --- runner / parallel harness micro-benchmarks -------------------------
+
+void BM_DeriveSeed(benchmark::State& state) {
+  std::uint64_t s = 0;
+  for (auto _ : state) {
+    s ^= derive_seed(42, s);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_DeriveSeed);
+
+void BM_ThreadPoolSubmitDrain(benchmark::State& state) {
+  runner::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<int> acc{0};
+    for (int i = 0; i < 256; ++i)
+      pool.submit([&acc] { acc.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+    benchmark::DoNotOptimize(acc.load());
+  }
+}
+BENCHMARK(BM_ThreadPoolSubmitDrain)->Arg(1)->Arg(4);
+
+void BM_MonteCarloRun(benchmark::State& state) {
+  runner::MonteCarlo::Config cfg;
+  cfg.threads = static_cast<int>(state.range(0));
+  cfg.base_seed = 9;
+  const runner::MonteCarlo mc(cfg);
+  for (auto _ : state) {
+    auto result = mc.run(64, [](const runner::TrialContext& ctx,
+                                runner::TrialRecorder& rec) {
+      Rng rng(ctx.seed);
+      double acc = 0.0;
+      for (int i = 0; i < 1000; ++i) acc += rng.normal(0.0, 1.0);
+      rec.sample("acc", acc);
+    });
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_MonteCarloRun)->Arg(1)->Arg(4);
+
+void BM_CachedPulseTemplate(benchmark::State& state) {
+  dw::clear_pulse_cache();
+  for (auto _ : state) {
+    const CVec& t = dw::cached_pulse_template(0x93, k::cir_ts_s / 8.0);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_CachedPulseTemplate);
+
+void BM_MonteCarloScenarioRound(benchmark::State& state) {
+  // One full scenario-per-trial Monte-Carlo round trip — the unit of work
+  // every ported bench schedules. Warm thread-local caches dominate.
+  runner::MonteCarlo::Config cfg;
+  cfg.threads = 1;
+  cfg.base_seed = 11;
+  const runner::MonteCarlo mc(cfg);
+  for (auto _ : state) {
+    auto result = mc.run(1, [](const runner::TrialContext& ctx,
+                               runner::TrialRecorder& rec) {
+      ranging::ScenarioConfig cfg2 = bench::hallway_scenario(ctx.seed);
+      cfg2.responders = {{0, bench::hallway_at(3.0)},
+                         {1, bench::hallway_at(6.0)}};
+      ranging::ConcurrentRangingScenario scenario(cfg2);
+      const auto out = scenario.run_round();
+      rec.sample("d", out.d_twr_m);
+    });
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_MonteCarloScenarioRound);
 
 }  // namespace
 

@@ -7,8 +7,10 @@
 #include "common/constants.hpp"
 #include "ranging/capacity.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uwb;
+  const auto opts = bench::parse_options(argc, argv, 1);
+  bench::JsonReport report("sect8_scalability", opts.trials);
   bench::heading("Sect. VIII — scalability of the combined scheme");
 
   const dw::PhyConfig phy;
@@ -61,5 +63,12 @@ int main() {
       "\npaper check: with 1499 neighbours the classical scheme needs one\n"
       "TX+RX pair per neighbour while concurrent ranging needs a single\n"
       "transmit and a single receive operation at the initiator.\n");
-  return 0;
+  report.metric("cir_max_offset_ns", ranging::cir_max_offset_s(phy) * 1e9);
+  report.metric("rpm_slots_75m",
+                static_cast<double>(ranging::rpm_slots_paper(phy, 75.0)));
+  report.metric("nmax_20m_108shapes",
+                static_cast<double>(ranging::max_concurrent_responders(
+                    ranging::rpm_slots_paper(phy, 20.0),
+                    k::num_pulse_shapes)));
+  return report.write_if_requested(opts) ? 0 : 1;
 }

@@ -1,32 +1,164 @@
 // Shared helpers for the experiment harnesses: argument handling, table
-// printing, ASCII series plotting, and canonical scenario builders.
+// printing, ASCII series plotting, canonical scenario builders, Monte-Carlo
+// glue, and machine-readable JSON reports.
 //
 // Every bench binary regenerates one table or figure of the paper. Binaries
-// accept `--trials N` to scale the Monte-Carlo count (defaults keep the full
-// suite to a couple of minutes; paper-scale counts are noted per bench).
+// accept:
+//   --trials N    scale the Monte-Carlo count (defaults keep the full suite
+//                 to a couple of minutes; paper-scale counts noted per bench)
+//   --threads N   Monte-Carlo worker threads (0/default = all hardware
+//                 threads; results are bit-identical for any value)
+//   --json PATH   additionally emit a JSON record of the run's parameters
+//                 and metrics (the perf trajectory CI archives as
+//                 BENCH_*.json — see DESIGN.md for the schema)
 #pragma once
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ranging/session.hpp"
+#include "runner/monte_carlo.hpp"
 
 namespace uwb::bench {
 
-/// Parse `--trials N` (or use the bench's default).
-inline int trials_arg(int argc, char** argv, int default_trials) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--trials") == 0) {
-      const int n = std::atoi(argv[i + 1]);
-      if (n > 0) return n;
+/// Command-line options shared by every bench binary.
+struct BenchOptions {
+  int trials = 0;
+  int threads = 0;        // 0 = hardware concurrency
+  std::string json_path;  // empty = no JSON output
+};
+
+/// Parse `--trials N`, `--threads N`, and `--json PATH`.
+inline BenchOptions parse_options(int argc, char** argv, int default_trials) {
+  BenchOptions opts;
+  opts.trials = default_trials;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n > 0) opts.trials = n;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n > 0) opts.threads = n;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opts.json_path = argv[++i];
     }
   }
-  return default_trials;
+  return opts;
 }
+
+/// Monte-Carlo engine configured from the command line.
+inline runner::MonteCarlo monte_carlo(const BenchOptions& opts,
+                                      std::uint64_t base_seed) {
+  runner::MonteCarlo::Config cfg;
+  cfg.threads = opts.threads;
+  cfg.base_seed = base_seed;
+  return runner::MonteCarlo(cfg);
+}
+
+/// Machine-readable record of one bench run:
+///   {"bench": ..., "params": {...}, "metrics": {...},
+///    "wall_ms": ..., "trials": ...}
+/// Params describe the configuration (inputs), metrics the results
+/// (outputs). Insertion order is preserved so records diff cleanly.
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, int trials)
+      : bench_(std::move(bench_name)), trials_(trials),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void param(const std::string& name, double value) {
+    params_.emplace_back(name, number(value));
+  }
+  void param(const std::string& name, const std::string& value) {
+    params_.emplace_back(name, quote(value));
+  }
+  void metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, number(value));
+  }
+
+  /// Write the record to opts.json_path (no-op when --json was not given).
+  /// Returns false on I/O failure.
+  bool write_if_requested(const BenchOptions& opts) const {
+    if (opts.json_path.empty()) return true;
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n", quote(bench_).c_str());
+    write_object(f, "params", params_);
+    write_object(f, "metrics", metrics_);
+    std::fprintf(f, "  \"wall_ms\": %s,\n  \"trials\": %d\n}\n",
+                 number(wall_ms).c_str(), trials_);
+    const bool ok = std::fclose(f) == 0;
+    if (ok) std::printf("\n[json written to %s]\n", opts.json_path.c_str());
+    return ok;
+  }
+
+  /// Record the standard summary of one Monte-Carlo metric.
+  void summarize(const runner::TrialResult& result,
+                 const std::string& metric_name) {
+    const auto s = result.summary(metric_name);
+    metric(metric_name + "_mean", s.mean);
+    metric(metric_name + "_stddev", s.stddev);
+    metric(metric_name + "_p50", s.p50);
+    metric(metric_name + "_p90", s.p90);
+    metric(metric_name + "_count", static_cast<double>(s.count));
+  }
+
+ private:
+  using Field = std::pair<std::string, std::string>;
+
+  static std::string number(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  static void write_object(std::FILE* f, const char* key,
+                           const std::vector<Field>& fields) {
+    std::fprintf(f, "  \"%s\": {", key);
+    for (std::size_t i = 0; i < fields.size(); ++i)
+      std::fprintf(f, "%s\n    %s: %s", i ? "," : "",
+                   quote(fields[i].first).c_str(), fields[i].second.c_str());
+    std::fprintf(f, "%s},\n", fields.empty() ? "" : "\n  ");
+  }
+
+  std::string bench_;
+  int trials_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<Field> params_;
+  std::vector<Field> metrics_;
+};
 
 inline void heading(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
@@ -83,6 +215,26 @@ inline ranging::ScenarioConfig office_scenario(std::uint64_t seed) {
   cfg.initiator_position = {2.0, 4.0};
   cfg.seed = seed;
   return cfg;
+}
+
+/// Run `trials` independent concurrent-ranging rounds on the Monte-Carlo
+/// engine. Each trial builds its own scenario seeded by
+/// derive_seed(base_seed, trial) and runs exactly one round, so results are
+/// bit-identical for any --threads value. `make_cfg(seed)` returns the
+/// ScenarioConfig; `record(scenario, outcome, recorder)` scores the round.
+template <typename MakeCfg, typename Record>
+runner::TrialResult run_rounds(const BenchOptions& opts,
+                               std::uint64_t base_seed, int trials,
+                               MakeCfg&& make_cfg, Record&& record) {
+  return monte_carlo(opts, base_seed)
+      .run(trials, [&](const runner::TrialContext& ctx,
+                       runner::TrialRecorder& rec) {
+        ranging::ScenarioConfig cfg = make_cfg(ctx.seed);
+        cfg.seed = ctx.seed;
+        ranging::ConcurrentRangingScenario scenario(cfg);
+        const ranging::RoundOutcome out = scenario.run_round();
+        record(scenario, out, rec);
+      });
 }
 
 }  // namespace uwb::bench

@@ -7,6 +7,25 @@
 
 namespace uwb {
 
+namespace {
+
+// splitmix64 finalizer (Steele et al., "Fast splittable pseudorandom number
+// generators"): a bijective avalanche mix on 64 bits.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  // Advance the base by the golden-gamma increment per stream index, then
+  // finalize twice so nearby (base, stream) pairs decorrelate fully.
+  const std::uint64_t z = base + (stream + 1) * 0x9E3779B97F4A7C15ULL;
+  return mix64(mix64(z) ^ 0x8BADF00D5AFEC0DEULL);
+}
+
 double Rng::uniform(double lo, double hi) {
   UWB_EXPECTS(lo <= hi);
   return std::uniform_real_distribution<double>(lo, hi)(engine_);

@@ -11,6 +11,14 @@
 
 namespace uwb {
 
+/// Deterministically derive the seed of sub-stream `stream` from a base
+/// seed. Pure 64-bit integer mixing (splitmix64 finalizer), so the result
+/// is identical on every platform, compiler, and thread schedule — the
+/// foundation of the Monte-Carlo engine's determinism contract: trial i of
+/// a run seeded with `base` always uses derive_seed(base, i), regardless
+/// of how trials are distributed over worker threads.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
 /// Seeded pseudo-random source with the distributions the simulator needs.
 class Rng {
  public:

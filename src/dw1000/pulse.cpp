@@ -1,7 +1,10 @@
 #include "dw1000/pulse.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <map>
 #include <numbers>
+#include <utility>
 
 #include "common/constants.hpp"
 #include "common/expects.hpp"
@@ -84,5 +87,45 @@ std::size_t template_centre_index(std::uint8_t tc_pgdelay, double ts_s) {
   const double half = pulse_duration_s(tc_pgdelay) / 2.0;
   return static_cast<std::size_t>(std::ceil(half / ts_s));
 }
+
+namespace {
+
+struct PulseCache {
+  // Key: register byte plus the exact bit pattern of the sample period.
+  std::map<std::pair<std::uint8_t, std::uint64_t>, CVec> entries;
+  PulseCacheStats stats;
+};
+
+PulseCache& pulse_cache() {
+  thread_local PulseCache cache;
+  return cache;
+}
+
+std::uint64_t double_bits(double x) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+const CVec& cached_pulse_template(std::uint8_t tc_pgdelay, double ts_s) {
+  UWB_EXPECTS(ts_s > 0.0);
+  PulseCache& cache = pulse_cache();
+  const auto key = std::make_pair(tc_pgdelay, double_bits(ts_s));
+  const auto it = cache.entries.find(key);
+  if (it != cache.entries.end()) {
+    ++cache.stats.hits;
+    return it->second;
+  }
+  ++cache.stats.misses;
+  return cache.entries.emplace(key, sample_pulse_template(tc_pgdelay, ts_s))
+      .first->second;
+}
+
+PulseCacheStats pulse_cache_stats() { return pulse_cache().stats; }
+
+void clear_pulse_cache() { pulse_cache() = PulseCache{}; }
 
 }  // namespace uwb::dw

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
 
 #include "common/expects.hpp"
 #include "dsp/fft.hpp"
@@ -52,25 +57,82 @@ SearchSubtractDetector::SearchSubtractDetector(SearchSubtractDetector&&) noexcep
 SearchSubtractDetector& SearchSubtractDetector::operator=(
     SearchSubtractDetector&&) noexcept = default;
 
+namespace {
+
+// Thread-local bank cache: detectors constructed per Monte-Carlo trial with
+// identical configuration share one bank (templates and matched-filter
+// spectra) instead of rebuilding it every trial. Keyed by everything the
+// bank depends on: the shape registers and the upsampled sample period.
+struct BankCache {
+  struct Key {
+    std::vector<std::uint8_t> registers;
+    std::uint64_t ts_up_bits = 0;
+    bool operator<(const Key& other) const {
+      if (ts_up_bits != other.ts_up_bits) return ts_up_bits < other.ts_up_bits;
+      return registers < other.registers;
+    }
+  };
+  std::map<Key, std::shared_ptr<const SearchSubtractDetector::TemplateBank>>
+      entries;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+BankCache& bank_cache() {
+  thread_local BankCache cache;
+  return cache;
+}
+
+std::uint64_t double_bits(double x) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
 const SearchSubtractDetector::TemplateBank& SearchSubtractDetector::bank_for(
     double ts_s) const {
   UWB_EXPECTS(ts_s > 0.0);
   const double ts_up = ts_s / config_.upsample_factor;
   if (bank_ && std::abs(bank_->ts_up - ts_up) < 1e-18) return *bank_;
-  auto bank = std::make_unique<TemplateBank>();
+
+  BankCache& cache = bank_cache();
+  const BankCache::Key key{config_.shape_registers, double_bits(ts_up)};
+  if (const auto it = cache.entries.find(key); it != cache.entries.end()) {
+    ++cache.hits;
+    bank_ = it->second;
+    return *bank_;
+  }
+  ++cache.misses;
+
+  auto bank = std::make_shared<TemplateBank>();
   bank->ts_up = ts_up;
   for (std::uint8_t reg : config_.shape_registers) {
-    CVec raw = dw::sample_pulse_template(reg, ts_up);
+    CVec raw = dw::cached_pulse_template(reg, ts_up);
     const double norm = std::sqrt(dsp::energy(raw));
     UWB_ENSURES(norm > 0.0);
-    TemplateBank::Entry entry{dsp::MatchedFilter(raw), {}, norm,
+    TemplateBank::Entry entry{dsp::MatchedFilter(std::move(raw)), {}, norm,
                               dw::template_centre_index(reg, ts_up),
-                              raw.size(), reg};
+                              0, reg};
     entry.unit_template = entry.filter.unit_template();
+    entry.length = entry.unit_template.size();
     bank->entries.push_back(std::move(entry));
   }
-  bank_ = std::move(bank);
+  bank_ = bank;
+  cache.entries.emplace(key, std::move(bank));
   return *bank_;
+}
+
+SearchSubtractDetector::BankCacheStats
+SearchSubtractDetector::bank_cache_stats() {
+  const BankCache& cache = bank_cache();
+  return {cache.hits, cache.misses};
+}
+
+void SearchSubtractDetector::clear_bank_cache() {
+  bank_cache().entries.clear();
 }
 
 CVec SearchSubtractDetector::matched_filter_output(const CVec& cir_taps,

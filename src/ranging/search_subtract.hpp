@@ -10,6 +10,7 @@
 // not by absolute power bounds (open challenge IV).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 #include "ranging/detector.hpp"
@@ -47,17 +48,35 @@ class SearchSubtractDetector final : public ResponseDetector {
 
   const DetectorConfig& config() const { return config_; }
 
- private:
+  /// Hit/miss counters of the calling thread's template-bank cache.
+  struct BankCacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+  };
+  static BankCacheStats bank_cache_stats();
+
+  /// Drop the calling thread's cached banks (tests / memory pressure).
+  static void clear_bank_cache();
+
+  /// Opaque precomputed template bank (public only so the thread-local
+  /// bank cache in the implementation can name it).
   struct TemplateBank;
+
+ private:
   const TemplateBank& bank_for(double ts_s) const;
   std::vector<DetectedResponse> detect_impl(const CVec& cir_taps, double ts_s,
                                             int max_responses,
                                             DetectionTrace* trace) const;
 
   DetectorConfig config_;
-  // Template bank cache keyed by the upsampled sample period (lazily built;
-  // CIRs from one radio configuration share one bank).
-  mutable std::unique_ptr<TemplateBank> bank_;
+  // Handle into the thread-local template-bank cache (lazily resolved; all
+  // detectors on one thread with the same shape bank and sample period
+  // share one bank, so per-trial detector construction in the Monte-Carlo
+  // harnesses stops rebuilding templates and filter spectra). Banks are
+  // never shared across threads — a detector must only be used on the
+  // thread that first called detect() on it, which was already required by
+  // the lazily-built matched-filter spectra.
+  mutable std::shared_ptr<const TemplateBank> bank_;
 };
 
 }  // namespace uwb::ranging

@@ -1,0 +1,129 @@
+#include "runner/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expects.hpp"
+
+namespace uwb::runner {
+
+namespace {
+
+// Set while a worker thread runs its loop, so submit() from inside a task
+// can keep the subtask on the submitting worker's own deque (the
+// work-stealing fast path).
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerIdentity t_worker;
+
+}  // namespace
+
+int ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads > 0 ? threads : hardware_threads();
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Worker>());
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  UWB_EXPECTS(task != nullptr);
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    UWB_EXPECTS(!stopping_);
+    ++queued_;
+    ++in_flight_;
+    target = t_worker.pool == this ? t_worker.index
+                                   : next_queue_++ % queues_.size();
+  }
+  {
+    Worker& w = *queues_[target];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    w.tasks.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
+  const std::size_t n = queues_.size();
+  {
+    // Own deque: LIFO for cache locality.
+    Worker& w = *queues_[self];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (!w.tasks.empty()) {
+      task = std::move(w.tasks.back());
+      w.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal FIFO from siblings, starting just past ourselves so victims
+  // spread evenly.
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& w = *queues_[(self + k) % n];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (!w.tasks.empty()) {
+      task = std::move(w.tasks.front());
+      w.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  t_worker = {this, self};
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        --queued_;
+      }
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      bool done;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        done = --in_flight_ == 0;
+      }
+      if (done) all_done_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    work_available_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+    if (stopping_ && queued_ == 0) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace uwb::runner

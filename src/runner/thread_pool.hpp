@@ -1,0 +1,70 @@
+// Work-stealing thread pool for the Monte-Carlo experiment engine.
+//
+// Each worker owns a deque: it pops its own work LIFO (cache-warm) and
+// steals FIFO from its siblings when empty, so uneven trial costs (NLOS
+// rounds take longer than LOS rounds) balance automatically. Exceptions
+// thrown by tasks are captured and rethrown from wait_idle() — the pool
+// never swallows a failure and never dies on one.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uwb::runner {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = one per hardware thread).
+  explicit ThreadPool(int threads = 0);
+
+  /// Joins all workers. Pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue one task. Tasks may be submitted from any thread, including
+  /// from within a running task (the submitting worker keeps it local).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished. If any task threw, the
+  /// first captured exception is rethrown here (once); the remaining tasks
+  /// still ran to completion.
+  void wait_idle();
+
+  /// Hardware concurrency with a sane floor of 1.
+  static int hardware_threads();
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> tasks;
+    std::mutex mutex;
+  };
+
+  bool try_pop(std::size_t self, std::function<void()>& task);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t queued_ = 0;    // submitted, not yet started
+  std::size_t in_flight_ = 0; // queued + running
+  std::size_t next_queue_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace uwb::runner

@@ -1,0 +1,44 @@
+#include "runner/worker_context.hpp"
+
+#include "dw1000/pulse.hpp"
+#include "ranging/search_subtract.hpp"
+
+namespace uwb::runner {
+
+WorkerContext& WorkerContext::current() {
+  thread_local WorkerContext context;
+  return context;
+}
+
+const CVec& WorkerContext::pulse_template(std::uint8_t tc_pgdelay,
+                                          double ts_s) const {
+  return dw::cached_pulse_template(tc_pgdelay, ts_s);
+}
+
+const std::vector<geom::SpecularPath>& WorkerContext::specular_paths(
+    const geom::Room& room, geom::Vec2 tx, geom::Vec2 rx,
+    int max_order) const {
+  return geom::compute_paths_cached(room, tx, rx, max_order);
+}
+
+WorkerContext::CacheStats WorkerContext::stats() const {
+  const auto pulse = dw::pulse_cache_stats();
+  const auto path = geom::path_cache_stats();
+  const auto bank = ranging::SearchSubtractDetector::bank_cache_stats();
+  CacheStats out;
+  out.pulse_hits = pulse.hits;
+  out.pulse_misses = pulse.misses;
+  out.path_hits = path.hits;
+  out.path_misses = path.misses;
+  out.bank_hits = bank.hits;
+  out.bank_misses = bank.misses;
+  return out;
+}
+
+void WorkerContext::clear() const {
+  dw::clear_pulse_cache();
+  geom::clear_path_cache();
+  ranging::SearchSubtractDetector::clear_bank_cache();
+}
+
+}  // namespace uwb::runner

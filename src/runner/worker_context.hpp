@@ -1,0 +1,54 @@
+// Per-worker-thread context for Monte-Carlo trials.
+//
+// The expensive immutables of a trial — pulse templates, matched-filter
+// template banks (with their FFT spectra), and image-source path solves —
+// are memoised in thread-local caches owned by the layer that computes
+// them (dw1000/pulse, ranging/search_subtract, geom/image_source), so
+// scenario construction per trial stops reallocating them. WorkerContext
+// is the handle a trial gets to that per-thread state: typed accessors
+// into the caches plus aggregated statistics, without the trial function
+// having to know where each cache lives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "geom/image_source.hpp"
+#include "geom/room.hpp"
+
+namespace uwb::runner {
+
+class WorkerContext {
+ public:
+  /// The calling thread's context (one per thread, created on first use).
+  static WorkerContext& current();
+
+  /// Memoised pulse template (see dw::cached_pulse_template). The
+  /// reference stays valid for the thread's lifetime.
+  const CVec& pulse_template(std::uint8_t tc_pgdelay, double ts_s) const;
+
+  /// Memoised image-source solve (see geom::compute_paths_cached).
+  const std::vector<geom::SpecularPath>& specular_paths(
+      const geom::Room& room, geom::Vec2 tx, geom::Vec2 rx,
+      int max_order = 1) const;
+
+  /// Aggregated hit/miss counters of this thread's caches.
+  struct CacheStats {
+    std::size_t pulse_hits = 0;
+    std::size_t pulse_misses = 0;
+    std::size_t path_hits = 0;
+    std::size_t path_misses = 0;
+    std::size_t bank_hits = 0;
+    std::size_t bank_misses = 0;
+  };
+  CacheStats stats() const;
+
+  /// Drop every cache of the calling thread (tests / memory pressure).
+  void clear() const;
+
+ private:
+  WorkerContext() = default;
+};
+
+}  // namespace uwb::runner

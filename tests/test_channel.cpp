@@ -156,8 +156,11 @@ TEST_F(ChannelModelTest, DiffuseTailAddsNonDeterministicTaps) {
     if (!t.deterministic) ++diffuse;
   EXPECT_GT(diffuse, 10);
   // Diffuse taps never precede the LOS.
-  for (const Tap& t : ch.taps)
-    if (!t.deterministic) EXPECT_GE(t.delay_s, ch.los_delay_s);
+  for (const Tap& t : ch.taps) {
+    if (!t.deterministic) {
+      EXPECT_GE(t.delay_s, ch.los_delay_s);
+    }
+  }
 }
 
 TEST_F(ChannelModelTest, DisableDiffuseRemovesThem) {

@@ -149,8 +149,11 @@ TEST(ImageSourceTest, ReflectionAlwaysLongerThanLos) {
   const Room room = Room::rectangular(12.0, 7.0);
   const auto paths = compute_paths(room, {1.5, 2.0}, {10.0, 5.5}, 2);
   const double los = paths.front().length_m;
-  for (const auto& p : paths)
-    if (p.order >= 1) EXPECT_GT(p.length_m, los);
+  for (const auto& p : paths) {
+    if (p.order >= 1) {
+      EXPECT_GT(p.length_m, los);
+    }
+  }
 }
 
 TEST(ImageSourceTest, SecondOrderPathsExist) {

@@ -87,8 +87,9 @@ TEST(NetworkTest, ReciprocalDistancesAgree) {
                                   [static_cast<std::size_t>(j)];
       const auto& b = sweep.matrix[static_cast<std::size_t>(j)]
                                   [static_cast<std::size_t>(i)];
-      if (a.has_value() && b.has_value())
+      if (a.has_value() && b.has_value()) {
         EXPECT_NEAR(*a, *b, 1.5) << i << "," << j;
+      }
     }
 }
 

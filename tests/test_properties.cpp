@@ -13,6 +13,7 @@
 #include "dw1000/pulse.hpp"
 #include "ranging/protocol.hpp"
 #include "ranging/search_subtract.hpp"
+#include "runner/monte_carlo.hpp"
 
 namespace uwb {
 namespace {
@@ -225,6 +226,103 @@ INSTANTIATE_TEST_SUITE_P(
     OffsetsAndDrifts, ClockSweep,
     ::testing::Combine(::testing::Values(0.0, 1.2345, 16.9),
                        ::testing::Values(-20.0, -2.0, 0.0, 2.0, 20.0)));
+
+// --- Monte-Carlo sweeps on the parallel runner -------------------------------
+// The parameterised sweeps above check a handful of handpicked draws; these
+// sample the parameter space randomly over many trials on the Monte-Carlo
+// engine and assert the aggregate. Trials only record — all assertions run
+// on the main thread after the pool drains (gtest assertions are not
+// thread-safe inside workers).
+
+TEST(RunnerSweep, DetectorLocalisesRandomPulsesInAggregate) {
+  runner::MonteCarlo::Config cfg;
+  cfg.base_seed = 3101;
+  const auto result = runner::MonteCarlo(cfg).run(
+      48, [](const runner::TrialContext& ctx, runner::TrialRecorder& rec) {
+        Rng rng(ctx.seed);
+        const double position_taps = rng.uniform(70.0, 900.0);
+        const double amplitude = rng.uniform(0.1, 0.9);
+        dw::CirParams params;
+        params.noise_sigma = 0.003;
+        dw::CirArrival a;
+        a.time_into_window_s = position_taps * k::cir_ts_s;
+        a.amplitude = rng.random_phase() * amplitude;
+        const auto cir = dw::synthesize_cir({a}, params, rng);
+        ranging::SearchSubtractDetector det{ranging::DetectorConfig{}};
+        const auto found = det.detect(cir.taps, cir.ts_s, 1);
+        if (found.size() != 1) return;
+        rec.count("found");
+        rec.sample("tau_err_taps",
+                   found[0].tau_s / k::cir_ts_s - position_taps);
+        rec.sample("amp_rel_err",
+                   (std::abs(found[0].amplitude) - amplitude) / amplitude);
+      });
+  EXPECT_EQ(result.counter("found"), 48);
+  const auto tau = result.summary("tau_err_taps");
+  EXPECT_LT(std::abs(tau.mean), 0.05);
+  EXPECT_LT(tau.max, 0.2);
+  EXPECT_GT(tau.min, -0.2);
+  const auto amp = result.summary("amp_rel_err");
+  EXPECT_LT(std::abs(amp.mean), 0.1);
+}
+
+TEST(RunnerSweep, TwoPulseResolutionHoldsOverRandomSeparations) {
+  runner::MonteCarlo::Config cfg;
+  cfg.base_seed = 3102;
+  const auto result = runner::MonteCarlo(cfg).run(
+      32, [](const runner::TrialContext& ctx, runner::TrialRecorder& rec) {
+        Rng rng(ctx.seed);
+        const double sep = rng.uniform(1.5, 60.0);
+        dw::CirParams params;
+        params.noise_sigma = 0.003;
+        dw::CirArrival a, b;
+        a.time_into_window_s = 120.0 * k::cir_ts_s;
+        a.amplitude = {0.5, 0.0};
+        b.time_into_window_s = (120.0 + sep) * k::cir_ts_s;
+        b.amplitude = {0.4, 0.1};
+        const auto cir = dw::synthesize_cir({a, b}, params, rng);
+        ranging::SearchSubtractDetector det{ranging::DetectorConfig{}};
+        const auto found = det.detect(cir.taps, cir.ts_s, 2);
+        if (found.size() != 2) return;
+        rec.count("resolved");
+        rec.sample("sep_err_taps",
+                   (found[1].tau_s - found[0].tau_s) / k::cir_ts_s - sep);
+      });
+  EXPECT_EQ(result.counter("resolved"), 32);
+  const auto s = result.summary("sep_err_taps");
+  EXPECT_LT(std::abs(s.mean), 0.2);
+  EXPECT_LT(s.max, 0.5);
+  EXPECT_GT(s.min, -0.5);
+}
+
+TEST(RunnerSweep, SweepIsScheduleIndependent) {
+  // Same sweep at 1 and 4 workers: the runner contract says every sample
+  // comes back bit-identical regardless of scheduling.
+  const auto sweep = [](int threads) {
+    runner::MonteCarlo::Config cfg;
+    cfg.threads = threads;
+    cfg.base_seed = 3103;
+    return runner::MonteCarlo(cfg).run(
+        24, [](const runner::TrialContext& ctx, runner::TrialRecorder& rec) {
+          Rng rng(ctx.seed);
+          dw::CirParams params;
+          params.noise_sigma = 0.005;
+          dw::CirArrival a;
+          a.time_into_window_s = rng.uniform(80.0, 800.0) * k::cir_ts_s;
+          a.amplitude = rng.random_phase() * 0.5;
+          const auto cir = dw::synthesize_cir({a}, params, rng);
+          ranging::SearchSubtractDetector det{ranging::DetectorConfig{}};
+          const auto found = det.detect(cir.taps, cir.ts_s, 1);
+          if (!found.empty()) rec.sample("tau_s", found[0].tau_s);
+        });
+  };
+  const auto serial = sweep(1);
+  const auto parallel = sweep(4);
+  const RVec& xs = serial.samples("tau_s");
+  const RVec& ys = parallel.samples("tau_s");
+  ASSERT_EQ(xs.size(), ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(xs[i], ys[i]);
+}
 
 }  // namespace
 }  // namespace uwb
