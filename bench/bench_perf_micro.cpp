@@ -3,7 +3,10 @@
 // *at run time*, so the detector must be fast enough for embedded use.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <complex>
+#include <numbers>
 
 #include "common/constants.hpp"
 #include "common/random.hpp"
@@ -79,6 +82,107 @@ void BM_MatchedFilterUpsampledCir(benchmark::State& state) {
 }
 BENCHMARK(BM_MatchedFilterUpsampledCir);
 
+// --- unplanned references (the pre-plan implementations) ----------------
+//
+// Local copies of the algorithms before the FftPlan/shared-spectrum work:
+// twiddles recomputed with std::polar inside the butterfly loop, Bluestein
+// rebuilding its chirp and kernel per call, matched filtering running its
+// own forward transform per template. Kept here as the denominator of the
+// speedup the plan cache buys (DESIGN.md Sect. 8).
+
+void reference_fft_pow2(CVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex w = std::polar(1.0, ang * static_cast<double>(j));
+        const Complex u = x[i + j];
+        const Complex v = x[i + j + len / 2] * w;
+        x[i + j] = u + v;
+        x[i + j + len / 2] = u - v;
+      }
+    }
+  }
+}
+
+CVec reference_bluestein(const CVec& x) {
+  const std::size_t n = x.size();
+  const std::size_t m = dsp::next_pow2(2 * n - 1);
+  CVec a(m, Complex{}), b(m, Complex{});
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ang = std::numbers::pi * static_cast<double>(k) *
+                       static_cast<double>(k) / static_cast<double>(n);
+    const Complex w = std::polar(1.0, ang);
+    a[k] = x[k] * std::conj(w);
+    b[k] = w;
+    if (k != 0) b[m - k] = w;
+  }
+  reference_fft_pow2(a, false);
+  reference_fft_pow2(b, false);
+  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+  reference_fft_pow2(a, true);
+  CVec y(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ang = std::numbers::pi * static_cast<double>(k) *
+                       static_cast<double>(k) / static_cast<double>(n);
+    y[k] = a[k] * std::conj(std::polar(1.0, ang)) / static_cast<double>(m);
+  }
+  return y;
+}
+
+void BM_Reference_FftPow2_1024(benchmark::State& state) {
+  CVec x = random_signal(1024, 1);
+  for (auto _ : state) {
+    CVec y = x;
+    reference_fft_pow2(y, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Reference_FftPow2_1024);
+
+void BM_Reference_FftBluestein_1016(benchmark::State& state) {
+  const CVec x = random_signal(k::cir_len_prf64, 2);
+  for (auto _ : state) {
+    CVec y = reference_bluestein(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Reference_FftBluestein_1016);
+
+void BM_Reference_MatchedFilterUpsampledCir(benchmark::State& state) {
+  // FFT correlation with per-call forward transforms of both operands and
+  // no plan reuse — what MatchedFilter::apply did before apply_spectrum.
+  const CVec r = random_signal(8192, 4);
+  dsp::MatchedFilter mf(dw::sample_pulse_template(0x93, k::cir_ts_s / 8.0));
+  const CVec& s = mf.unit_template();
+  const std::size_t n = r.size();
+  const std::size_t padded = dsp::next_pow2(n + s.size() - 1);
+  for (auto _ : state) {
+    CVec rx(padded, Complex{});
+    std::copy(r.begin(), r.end(), rx.begin());
+    CVec sx(padded, Complex{});
+    for (std::size_t m = 0; m < s.size(); ++m)
+      sx[(padded - m) % padded] = std::conj(s[m]);
+    reference_fft_pow2(rx, false);
+    reference_fft_pow2(sx, false);
+    for (std::size_t i = 0; i < padded; ++i) rx[i] *= sx[i];
+    reference_fft_pow2(rx, true);
+    CVec y(n);
+    for (std::size_t i = 0; i < n; ++i)
+      y[i] = rx[i] / static_cast<double>(padded);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Reference_MatchedFilterUpsampledCir);
+
 void BM_SearchSubtract_SingleTemplate(benchmark::State& state) {
   const auto cir = test_cir(static_cast<int>(state.range(0)), 5);
   ranging::SearchSubtractDetector det{ranging::DetectorConfig{}};
@@ -100,6 +204,23 @@ void BM_SearchSubtract_ThreeTemplateBank(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SearchSubtract_ThreeTemplateBank);
+
+void BM_SearchSubtract_ExactRecompute(benchmark::State& state) {
+  // The exact reference path (DetectorConfig::exact_recompute): every
+  // matched filter re-run from scratch per iteration. The gap to
+  // BM_SearchSubtract_ThreeTemplateBank is what the shared-spectrum +
+  // incremental fast path buys at equal output.
+  const auto cir = test_cir(3, 6);
+  ranging::DetectorConfig cfg;
+  cfg.shape_registers = {0x93, 0xC8, 0xE6};
+  cfg.exact_recompute = true;
+  ranging::SearchSubtractDetector det{cfg};
+  for (auto _ : state) {
+    auto found = det.detect(cir.taps, cir.ts_s, 3);
+    benchmark::DoNotOptimize(found.data());
+  }
+}
+BENCHMARK(BM_SearchSubtract_ExactRecompute);
 
 void BM_ThresholdDetector(benchmark::State& state) {
   const auto cir = test_cir(3, 7);

@@ -23,6 +23,9 @@
 #include <utility>
 #include <vector>
 
+#include "dsp/fft.hpp"
+#include "dw1000/pulse.hpp"
+#include "ranging/search_subtract.hpp"
 #include "ranging/session.hpp"
 #include "runner/monte_carlo.hpp"
 
@@ -97,7 +100,9 @@ class JsonReport {
     }
     std::fprintf(f, "{\n  \"bench\": %s,\n", quote(bench_).c_str());
     write_object(f, "params", params_);
-    write_object(f, "metrics", metrics_);
+    std::vector<Field> metrics = metrics_;
+    append_cache_metrics(metrics);
+    write_object(f, "metrics", metrics);
     std::fprintf(f, "  \"wall_ms\": %s,\n  \"trials\": %d\n}\n",
                  number(wall_ms).c_str(), trials_);
     const bool ok = std::fclose(f) == 0;
@@ -118,6 +123,32 @@ class JsonReport {
 
  private:
   using Field = std::pair<std::string, std::string>;
+
+  // Process-wide memo-cache counters (pulse templates, detector template
+  // banks, FFT plans), aggregated over every worker thread. Prefixed
+  // `cache_` — values depend on thread count and scheduling, so the CI
+  // determinism check skips the prefix, like `mc_`.
+  static void append_cache_metrics(std::vector<Field>& metrics) {
+    const auto add = [&metrics](const char* name, std::size_t hits,
+                                std::size_t misses) {
+      metrics.emplace_back(std::string("cache_") + name + "_hits",
+                           number(static_cast<double>(hits)));
+      metrics.emplace_back(std::string("cache_") + name + "_misses",
+                           number(static_cast<double>(misses)));
+      const std::size_t lookups = hits + misses;
+      metrics.emplace_back(
+          std::string("cache_") + name + "_hit_rate",
+          number(lookups ? static_cast<double>(hits) /
+                               static_cast<double>(lookups)
+                         : 0.0));
+    };
+    const auto pulse = dw::pulse_cache_stats_total();
+    add("pulse", pulse.hits, pulse.misses);
+    const auto bank = ranging::SearchSubtractDetector::bank_cache_stats_total();
+    add("bank", bank.hits, bank.misses);
+    const auto plan = dsp::fft_plan_cache_stats_total();
+    add("fft_plan", plan.hits, plan.misses);
+  }
 
   static std::string number(double v) {
     if (!std::isfinite(v)) return "null";

@@ -1,0 +1,38 @@
+// Small hashing helpers for unordered cache keys.
+//
+// The thread-local memo caches (pulse templates, detector template banks,
+// FFT plans) key on mixtures of small integers and the exact bit patterns
+// of doubles. `hash_mix` is a splitmix64-style finalizer: cheap, stateless,
+// and good enough to keep those unordered_map buckets balanced.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace uwb {
+
+/// Splitmix64 finalizer: avalanches every input bit over the output.
+constexpr std::uint64_t hash_mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combine a new value into an existing hash.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return hash_mix(seed ^ (v + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Exact bit pattern of a double (distinguishes -0.0/0.0 and NaN payloads,
+/// which is what cache keys want: bitwise-equal inputs hit, others miss).
+inline std::uint64_t double_bits(double x) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+}  // namespace uwb

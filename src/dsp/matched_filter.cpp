@@ -1,5 +1,7 @@
 #include "dsp/matched_filter.hpp"
 
+#include <algorithm>
+
 #include "common/expects.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/signal.hpp"
@@ -15,14 +17,58 @@ CVec correlate_direct(const CVec& r, const CVec& unit_template) {
   const std::size_t n = r.size();
   const std::size_t np = unit_template.size();
   CVec y(n, Complex{});
+  const double* rd = reinterpret_cast<const double*>(r.data());
+  const double* sd = reinterpret_cast<const double*>(unit_template.data());
   for (std::size_t i = 0; i < n; ++i) {
-    Complex acc{};
+    double acc_r = 0.0, acc_i = 0.0;
     const std::size_t mmax = std::min(np, n - i);
-    for (std::size_t m = 0; m < mmax; ++m)
-      acc += r[i + m] * std::conj(unit_template[m]);
-    y[i] = acc;
+    for (std::size_t m = 0; m < mmax; ++m) {
+      // r[i + m] * conj(s[m]) with explicit arithmetic (see fft.cpp).
+      const double xr = rd[2 * (i + m)], xi = rd[2 * (i + m) + 1];
+      const double sr = sd[2 * m], si = sd[2 * m + 1];
+      acc_r += xr * sr + xi * si;
+      acc_i += xi * sr - xr * si;
+    }
+    y[i] = Complex(acc_r, acc_i);
   }
   return y;
+}
+
+const CVec& MatchedFilter::template_spectrum(std::size_t padded) const {
+  UWB_EXPECTS(is_pow2(padded));
+  UWB_EXPECTS(padded >= tmpl_.size());
+  if (spec_len_ != padded) {
+    CVec t(padded, Complex{});
+    // Correlation = convolution with conj-time-reversed template; placing
+    // conj(s[m]) at index (padded - m) % padded makes the circular
+    // convolution output index equal the template start position.
+    for (std::size_t m = 0; m < tmpl_.size(); ++m)
+      t[(padded - m) % padded] = std::conj(tmpl_[m]);
+    plan_for(padded).transform_pow2(t.data(), false);
+    tmpl_spec_ = std::move(t);
+    spec_len_ = padded;
+  }
+  return tmpl_spec_;
+}
+
+void MatchedFilter::apply_spectrum(const Complex* spectrum, std::size_t padded,
+                                   std::size_t out_len, CVec& out) const {
+  UWB_EXPECTS(out_len <= padded);
+  const CVec& tspec = template_spectrum(padded);
+  CVec& work = fft_scratch(2, padded);
+  const double* a = reinterpret_cast<const double*>(spectrum);
+  const double* b = reinterpret_cast<const double*>(tspec.data());
+  double* w = reinterpret_cast<double*>(work.data());
+  for (std::size_t k = 0; k < padded; ++k) {
+    const double ar = a[2 * k], ai = a[2 * k + 1];
+    const double br = b[2 * k], bi = b[2 * k + 1];
+    w[2 * k] = ar * br - ai * bi;
+    w[2 * k + 1] = ar * bi + ai * br;
+  }
+  plan_for(padded).transform_pow2(work.data(), true);
+  const double scale = 1.0 / static_cast<double>(padded);
+  out.resize(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = work[i] * scale;
 }
 
 CVec MatchedFilter::apply(const CVec& r) const {
@@ -33,25 +79,12 @@ CVec MatchedFilter::apply(const CVec& r) const {
   if (n * np <= 16384) return correlate_direct(r, tmpl_);
 
   const std::size_t padded = next_pow2(n + np - 1);
-  if (spec_len_ != padded) {
-    CVec t(padded, Complex{});
-    // Correlation = convolution with conj-time-reversed template; placing
-    // conj(s[m]) at index (padded - m) % padded makes the circular
-    // convolution output index equal the template start position.
-    for (std::size_t m = 0; m < np; ++m)
-      t[(padded - m) % padded] = std::conj(tmpl_[m]);
-    fft_pow2_inplace(t, false);
-    tmpl_spec_ = std::move(t);
-    spec_len_ = padded;
-  }
-  CVec x(padded, Complex{});
+  CVec& x = fft_scratch(3, padded);
   std::copy(r.begin(), r.end(), x.begin());
-  fft_pow2_inplace(x, false);
-  for (std::size_t k = 0; k < padded; ++k) x[k] *= tmpl_spec_[k];
-  fft_pow2_inplace(x, true);
-  const double scale = 1.0 / static_cast<double>(padded);
-  CVec y(n);
-  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] * scale;
+  std::fill(x.begin() + static_cast<std::ptrdiff_t>(n), x.end(), Complex{});
+  plan_for(padded).transform_pow2(x.data(), false);
+  CVec y;
+  apply_spectrum(x.data(), padded, n, y);
   return y;
 }
 

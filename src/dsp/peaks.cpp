@@ -10,10 +10,11 @@ namespace uwb::dsp {
 
 std::size_t argmax_abs(const CVec& x) {
   UWB_EXPECTS(!x.empty());
+  // Comparing |x|^2 avoids a hypot per sample; the argmax is the same.
   std::size_t best = 0;
-  double best_mag = std::abs(x[0]);
+  double best_mag = std::norm(x[0]);
   for (std::size_t i = 1; i < x.size(); ++i) {
-    const double m = std::abs(x[i]);
+    const double m = std::norm(x[i]);
     if (m > best_mag) {
       best_mag = m;
       best = i;
@@ -58,11 +59,17 @@ std::vector<Peak> local_maxima(const CVec& x, double threshold,
 
 double noise_sigma_estimate(const CVec& x) {
   UWB_EXPECTS(!x.empty());
-  RVec mag = magnitude(x);
-  const std::size_t mid = mag.size() / 2;
-  std::nth_element(mag.begin(), mag.begin() + mid, mag.end());
+  // Select the median of |x|^2 (same element as the median of |x|, one
+  // sqrt instead of a hypot per sample) in a reused per-thread buffer:
+  // the detector calls this once per search-and-subtract iteration.
+  thread_local RVec sq;
+  sq.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) sq[i] = std::norm(x[i]);
+  const std::size_t mid = sq.size() / 2;
+  std::nth_element(sq.begin(), sq.begin() + static_cast<std::ptrdiff_t>(mid),
+                   sq.end());
   // Rayleigh median = sigma * sqrt(2 ln 2).
-  return mag[mid] / std::sqrt(2.0 * std::log(2.0));
+  return std::sqrt(sq[mid]) / std::sqrt(2.0 * std::log(2.0));
 }
 
 }  // namespace uwb::dsp

@@ -1,18 +1,16 @@
 #include "dsp/resample.hpp"
 
+#include <algorithm>
+
 #include "common/expects.hpp"
 #include "dsp/fft.hpp"
 
 namespace uwb::dsp {
 
-CVec upsample_fft(const CVec& x, int factor) {
-  UWB_EXPECTS(!x.empty());
-  UWB_EXPECTS(factor >= 1);
-  if (factor == 1) return x;
-  const std::size_t n = x.size();
+void upsample_spectrum(const Complex* spec, std::size_t n, int factor,
+                       Complex* padded) {
   const std::size_t m = n * static_cast<std::size_t>(factor);
-  const CVec spec = fft(x);
-  CVec padded(m, Complex{});
+  std::fill(padded, padded + m, Complex{});
   // Copy positive frequencies [0, n/2) and negative frequencies (n/2, n).
   const std::size_t half = n / 2;
   for (std::size_t k = 0; k < half; ++k) padded[k] = spec[k];
@@ -24,8 +22,29 @@ CVec upsample_fft(const CVec& x, int factor) {
   } else {
     padded[half] = spec[half];
   }
-  CVec y = ifft(padded);
-  for (auto& v : y) v *= static_cast<double>(factor);
+}
+
+CVec upsample_fft(const CVec& x, int factor) {
+  UWB_EXPECTS(!x.empty());
+  UWB_EXPECTS(factor >= 1);
+  if (factor == 1) return x;
+  const std::size_t n = x.size();
+  const std::size_t m = n * static_cast<std::size_t>(factor);
+  CVec& spec = fft_scratch(0, n);
+  plan_for(n).transform(x.data(), spec.data(), false);
+  const FftPlan& pm = plan_for(m);
+  CVec y(m);
+  const double scale =
+      static_cast<double>(factor) / static_cast<double>(m);
+  if (pm.radix2()) {
+    upsample_spectrum(spec.data(), n, factor, y.data());
+    pm.transform_pow2(y.data(), true);
+  } else {
+    CVec& padded = fft_scratch(1, m);
+    upsample_spectrum(spec.data(), n, factor, padded.data());
+    pm.transform(padded.data(), y.data(), true);
+  }
+  for (auto& v : y) v *= scale;
   return y;
 }
 

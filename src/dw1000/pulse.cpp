@@ -1,13 +1,14 @@
 #include "dw1000/pulse.hpp"
 
+#include <atomic>
 #include <cmath>
-#include <cstring>
-#include <map>
 #include <numbers>
+#include <unordered_map>
 #include <utility>
 
 #include "common/constants.hpp"
 #include "common/expects.hpp"
+#include "common/hash.hpp"
 
 namespace uwb::dw {
 
@@ -92,7 +93,14 @@ namespace {
 
 struct PulseCache {
   // Key: register byte plus the exact bit pattern of the sample period.
-  std::map<std::pair<std::uint8_t, std::uint64_t>, CVec> entries;
+  using Key = std::pair<std::uint8_t, std::uint64_t>;
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      return static_cast<std::size_t>(
+          hash_combine(hash_mix(key.first), key.second));
+    }
+  };
+  std::unordered_map<Key, CVec, KeyHash> entries;
   PulseCacheStats stats;
 };
 
@@ -101,12 +109,8 @@ PulseCache& pulse_cache() {
   return cache;
 }
 
-std::uint64_t double_bits(double x) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(x));
-  std::memcpy(&bits, &x, sizeof(bits));
-  return bits;
-}
+std::atomic<std::size_t> g_pulse_hits{0};
+std::atomic<std::size_t> g_pulse_misses{0};
 
 }  // namespace
 
@@ -117,14 +121,21 @@ const CVec& cached_pulse_template(std::uint8_t tc_pgdelay, double ts_s) {
   const auto it = cache.entries.find(key);
   if (it != cache.entries.end()) {
     ++cache.stats.hits;
+    g_pulse_hits.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
   ++cache.stats.misses;
+  g_pulse_misses.fetch_add(1, std::memory_order_relaxed);
   return cache.entries.emplace(key, sample_pulse_template(tc_pgdelay, ts_s))
       .first->second;
 }
 
 PulseCacheStats pulse_cache_stats() { return pulse_cache().stats; }
+
+PulseCacheStats pulse_cache_stats_total() {
+  return {g_pulse_hits.load(std::memory_order_relaxed),
+          g_pulse_misses.load(std::memory_order_relaxed)};
+}
 
 void clear_pulse_cache() { pulse_cache() = PulseCache{}; }
 

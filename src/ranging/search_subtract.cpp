@@ -1,14 +1,16 @@
 #include "ranging/search_subtract.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
-#include <cstring>
-#include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/expects.hpp"
+#include "common/hash.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/matched_filter.hpp"
 #include "dsp/peaks.hpp"
@@ -35,6 +37,7 @@ CVec upsample_padded(const CVec& cir_taps, int factor) {
 
 struct SearchSubtractDetector::TemplateBank {
   double ts_up = 0.0;
+  std::size_t max_len = 0;  // longest template in the bank
   struct Entry {
     dsp::MatchedFilter filter;
     CVec unit_template;
@@ -67,12 +70,19 @@ struct BankCache {
   struct Key {
     std::vector<std::uint8_t> registers;
     std::uint64_t ts_up_bits = 0;
-    bool operator<(const Key& other) const {
-      if (ts_up_bits != other.ts_up_bits) return ts_up_bits < other.ts_up_bits;
-      return registers < other.registers;
+    bool operator==(const Key& other) const {
+      return ts_up_bits == other.ts_up_bits && registers == other.registers;
     }
   };
-  std::map<Key, std::shared_ptr<const SearchSubtractDetector::TemplateBank>>
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      std::uint64_t h = hash_mix(key.ts_up_bits);
+      for (const std::uint8_t reg : key.registers) h = hash_combine(h, reg);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<Key, std::shared_ptr<const SearchSubtractDetector::TemplateBank>,
+                     KeyHash>
       entries;
   std::size_t hits = 0;
   std::size_t misses = 0;
@@ -83,11 +93,24 @@ BankCache& bank_cache() {
   return cache;
 }
 
-std::uint64_t double_bits(double x) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(x));
-  std::memcpy(&bits, &x, sizeof(bits));
-  return bits;
+std::atomic<std::size_t> g_bank_hits{0};
+std::atomic<std::size_t> g_bank_misses{0};
+
+// Reused per-thread working set of the fast detection path: the residual,
+// its spectra, the per-template correlation outputs, and the subtraction
+// window. One detect() allocates nothing once the thread is warm.
+struct DetectScratch {
+  CVec padded_cir;
+  CVec residual;
+  CVec spec_m;   // spectrum of the upsampled residual at its own length M
+  CVec spec_p;   // spectrum of the zero-padded residual at the bank length P
+  CVec delta;    // subtracted waveform inside the update window
+  std::vector<CVec> ys;  // one correlation output per template
+};
+
+DetectScratch& detect_scratch() {
+  thread_local DetectScratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -102,10 +125,12 @@ const SearchSubtractDetector::TemplateBank& SearchSubtractDetector::bank_for(
   const BankCache::Key key{config_.shape_registers, double_bits(ts_up)};
   if (const auto it = cache.entries.find(key); it != cache.entries.end()) {
     ++cache.hits;
+    g_bank_hits.fetch_add(1, std::memory_order_relaxed);
     bank_ = it->second;
     return *bank_;
   }
   ++cache.misses;
+  g_bank_misses.fetch_add(1, std::memory_order_relaxed);
 
   auto bank = std::make_shared<TemplateBank>();
   bank->ts_up = ts_up;
@@ -118,6 +143,7 @@ const SearchSubtractDetector::TemplateBank& SearchSubtractDetector::bank_for(
                               0, reg};
     entry.unit_template = entry.filter.unit_template();
     entry.length = entry.unit_template.size();
+    bank->max_len = std::max(bank->max_len, entry.length);
     bank->entries.push_back(std::move(entry));
   }
   bank_ = bank;
@@ -129,6 +155,12 @@ SearchSubtractDetector::BankCacheStats
 SearchSubtractDetector::bank_cache_stats() {
   const BankCache& cache = bank_cache();
   return {cache.hits, cache.misses};
+}
+
+SearchSubtractDetector::BankCacheStats
+SearchSubtractDetector::bank_cache_stats_total() {
+  return {g_bank_hits.load(std::memory_order_relaxed),
+          g_bank_misses.load(std::memory_order_relaxed)};
 }
 
 void SearchSubtractDetector::clear_bank_cache() {
@@ -164,77 +196,106 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_impl(
   UWB_EXPECTS(!cir_taps.empty());
   UWB_EXPECTS(max_responses >= 1);
   const TemplateBank& bank = bank_for(ts_s);
-  const double ts_up = bank.ts_up;
+  if (trace != nullptr || config_.exact_recompute)
+    return detect_exact(cir_taps, bank, max_responses, trace);
+  return detect_fast(cir_taps, bank, max_responses);
+}
 
+namespace {
+
+// Peak refinement and bookkeeping shared by both detection paths.
+struct PeakSelection {
+  int shape = -1;
+  std::size_t index = 0;
+  double mag = -1.0;
+};
+
+// Parabolic interpolation of |y| around the peak: the fractional pulse
+// position, and the refined magnitude at that position.
+void refine_peak(const CVec& y, std::size_t idx, double mag, double* frac,
+                 double* mag_refined) {
+  *frac = 0.0;
+  *mag_refined = mag;
+  if (idx > 0 && idx + 1 < y.size()) {
+    const double ym = std::abs(y[idx - 1]);
+    const double yp = std::abs(y[idx + 1]);
+    const double denom = ym - 2.0 * mag + yp;
+    if (denom < 0.0) {
+      *frac = std::clamp(0.5 * (ym - yp) / denom, -0.5, 0.5);
+      *mag_refined = mag - 0.25 * (ym - yp) * (*frac);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<DetectedResponse> SearchSubtractDetector::detect_exact(
+    const CVec& cir_taps, const TemplateBank& bank, int max_responses,
+    DetectionTrace* trace) const {
+  const double ts_up = bank.ts_up;
   CVec residual = detail::upsample_padded(cir_taps, config_.upsample_factor);
 
   std::vector<DetectedResponse> found;
+  found.reserve(static_cast<std::size_t>(max_responses));
   double strongest = 0.0;
   for (int k = 0; k < max_responses; ++k) {
     // Step 2/3: matched filter every template, take the global maximum.
-    int best_shape = -1;
-    std::size_t best_idx = 0;
+    PeakSelection best;
     CVec best_y;
-    double best_mag = -1.0;
     for (std::size_t i = 0; i < bank.entries.size(); ++i) {
       CVec y = bank.entries[i].filter.apply(residual);
       const std::size_t idx = dsp::argmax_abs(y);
       const double mag = std::abs(y[idx]);
-      if (mag > best_mag) {
-        best_mag = mag;
-        best_idx = idx;
+      if (mag > best.mag) {
+        best = {static_cast<int>(i), idx, mag};
         best_y = std::move(y);
-        best_shape = static_cast<int>(i);
       }
     }
-    UWB_ENSURES(best_shape >= 0);
-    if (trace) trace->mf_outputs.push_back(best_y);
+    UWB_ENSURES(best.shape >= 0);
 
     // Stop at the noise floor of the *filter output* (upsampling correlates
     // the accumulator noise, so the matched-filter noise gain must be
     // measured, not assumed white); never stop by absolute power bounds.
     const double noise = dsp::noise_sigma_estimate(best_y);
-    if (best_mag < config_.noise_threshold_factor * noise) break;
-    if (strongest > 0.0 &&
-        best_mag < config_.relative_stop_fraction * strongest)
+    const bool below =
+        best.mag < config_.noise_threshold_factor * noise ||
+        (strongest > 0.0 &&
+         best.mag < config_.relative_stop_fraction * strongest);
+    if (below) {
+      // The rejected final output still belongs to the trace (it is what
+      // shows the residual has hit the noise floor).
+      if (trace) trace->mf_outputs.push_back(std::move(best_y));
       break;
-    strongest = std::max(strongest, best_mag);
+    }
+    strongest = std::max(strongest, best.mag);
 
-    const auto& entry = bank.entries[static_cast<std::size_t>(best_shape)];
+    const auto& entry = bank.entries[static_cast<std::size_t>(best.shape)];
 
     // Sub-sample refinement: parabolic interpolation of |y| around the peak
     // gives the fractional pulse position; subtracting the fractionally
     // shifted template keeps the residual below the noise floor instead of
     // leaving quantisation sidelobes.
-    double frac = 0.0;
-    double mag_refined = best_mag;
-    if (best_idx > 0 && best_idx + 1 < best_y.size()) {
-      const double ym = std::abs(best_y[best_idx - 1]);
-      const double y0 = best_mag;
-      const double yp = std::abs(best_y[best_idx + 1]);
-      const double denom = ym - 2.0 * y0 + yp;
-      if (denom < 0.0) {
-        frac = std::clamp(0.5 * (ym - yp) / denom, -0.5, 0.5);
-        mag_refined = y0 - 0.25 * (ym - yp) * frac;
-      }
-    }
+    double frac = 0.0, mag_refined = best.mag;
+    refine_peak(best_y, best.index, best.mag, &frac, &mag_refined);
     const Complex amp_at_peak =
-        best_y[best_idx] * (mag_refined / best_mag) / entry.raw_norm;
+        best_y[best.index] * (mag_refined / best.mag) / entry.raw_norm;
+    // best_y is no longer needed: hand it to the trace without copying.
+    if (trace) trace->mf_outputs.push_back(std::move(best_y));
 
     DetectedResponse resp;
-    resp.index_upsampled = static_cast<double>(best_idx) + frac +
+    resp.index_upsampled = static_cast<double>(best.index) + frac +
                            static_cast<double>(entry.centre_index);
     resp.tau_s = resp.index_upsampled * ts_up;
     // Step 4: amplitude from the filter output (template has unit energy, so
     // the physical peak amplitude is y / ||s||).
     resp.amplitude = amp_at_peak;
     resp.shape_index =
-        config_.shape_registers.size() > 1 ? best_shape : -1;
+        config_.shape_registers.size() > 1 ? best.shape : -1;
     found.push_back(resp);
 
     // Step 5: subtract the estimated response, evaluating the analytic pulse
     // at the fractional delay.
-    const auto n0 = static_cast<std::ptrdiff_t>(best_idx);
+    const auto n0 = static_cast<std::ptrdiff_t>(best.index);
     const auto len = static_cast<std::ptrdiff_t>(entry.length);
     const auto res_n = static_cast<std::ptrdiff_t>(residual.size());
     const auto centre = static_cast<double>(entry.centre_index);
@@ -247,6 +308,213 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_impl(
   }
 
   // Step 7: ascending path delay, closest responder first.
+  std::sort(found.begin(), found.end(),
+            [](const DetectedResponse& a, const DetectedResponse& b) {
+              return a.tau_s < b.tau_s;
+            });
+  return found;
+}
+
+std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
+    const CVec& cir_taps, const TemplateBank& bank, int max_responses) const {
+  const double ts_up = bank.ts_up;
+  const int factor = config_.upsample_factor;
+  const std::size_t n2 = dsp::next_pow2(cir_taps.size());
+  const std::size_t kM = n2 * static_cast<std::size_t>(factor);
+  // One padded length for the whole bank (sized by the longest template) so
+  // every template correlates against the same residual spectrum.
+  const std::size_t kP = dsp::next_pow2(kM + bank.max_len - 1);
+  DetectScratch& scratch = detect_scratch();
+
+  // Step 1: upsample the zero-padded CIR, keeping both the time-domain
+  // residual and its length-M spectrum (the zero-stuffed CIR spectrum).
+  CVec& residual = scratch.residual;
+  CVec& spec_m = scratch.spec_m;
+  spec_m.resize(kM);
+  if (factor == 1) {
+    residual.resize(kM);
+    std::copy(cir_taps.begin(), cir_taps.end(), residual.begin());
+    std::fill(residual.begin() + static_cast<std::ptrdiff_t>(cir_taps.size()),
+              residual.end(), Complex{});
+    std::copy(residual.begin(), residual.end(), spec_m.begin());
+    dsp::plan_for(kM).transform_pow2(spec_m.data(), false);
+  } else {
+    CVec& padded = scratch.padded_cir;
+    padded.resize(n2);
+    std::copy(cir_taps.begin(), cir_taps.end(), padded.begin());
+    std::fill(padded.begin() + static_cast<std::ptrdiff_t>(cir_taps.size()),
+              padded.end(), Complex{});
+    dsp::plan_for(n2).transform_pow2(padded.data(), false);
+    // Fold the upsampling gain into the CIR spectrum (n2 samples) instead
+    // of the stuffed spectrum (kM samples).
+    for (auto& v : padded) v *= static_cast<double>(factor);
+    dsp::upsample_spectrum(padded.data(), n2, factor, spec_m.data());
+    residual = spec_m;
+    dsp::plan_for(kM).transform_pow2(residual.data(), true);
+    const double inv_m = 1.0 / static_cast<double>(kM);
+    for (auto& v : residual) v *= inv_m;
+  }
+
+  // Forward spectrum of the zero-padded residual at the bank length P.
+  // For the common P == 2M case the transform collapses with the upsample:
+  // even bins are the length-M spectrum we already hold, odd bins are one
+  // length-M transform of the twiddle-modulated residual (the first
+  // decimation-in-frequency stage of FFT_P run on an input whose upper half
+  // is zero).
+  CVec& spec_p = scratch.spec_p;
+  spec_p.resize(kP);
+  if (kP == kM) {
+    std::copy(spec_m.begin(), spec_m.end(), spec_p.begin());
+  } else if (kP == 2 * kM) {
+    CVec& modulated = scratch.padded_cir;  // padded_cir is dead past step 1
+    modulated.resize(kM);
+    const double* w =
+        reinterpret_cast<const double*>(dsp::plan_for(kP).twiddle_half());
+    const double* u = reinterpret_cast<const double*>(residual.data());
+    double* t = reinterpret_cast<double*>(modulated.data());
+    for (std::size_t j = 0; j < kM; ++j) {
+      const double ur = u[2 * j], ui = u[2 * j + 1];
+      const double wr = w[2 * j], wi = w[2 * j + 1];
+      t[2 * j] = ur * wr - ui * wi;
+      t[2 * j + 1] = ur * wi + ui * wr;
+    }
+    dsp::plan_for(kM).transform_pow2(modulated.data(), false);
+    for (std::size_t k = 0; k < kM; ++k) {
+      spec_p[2 * k] = spec_m[k];
+      spec_p[2 * k + 1] = modulated[k];
+    }
+  } else {
+    // Degenerate sizes (tiny CIR, long templates): plain padded transform.
+    std::copy(residual.begin(), residual.end(), spec_p.begin());
+    std::fill(spec_p.begin() + static_cast<std::ptrdiff_t>(kM), spec_p.end(),
+              Complex{});
+    dsp::plan_for(kP).transform_pow2(spec_p.data(), false);
+  }
+
+  // Step 2 (first iteration): one pointwise multiply + inverse transform
+  // per template against the shared residual spectrum.
+  const std::size_t n_shapes = bank.entries.size();
+  if (scratch.ys.size() < n_shapes) scratch.ys.resize(n_shapes);
+  for (std::size_t i = 0; i < n_shapes; ++i)
+    bank.entries[i].filter.apply_spectrum(spec_p.data(), kP, kM,
+                                          scratch.ys[i]);
+
+  std::vector<DetectedResponse> found;
+  found.reserve(static_cast<std::size_t>(max_responses));
+  double strongest = 0.0;
+  for (int k = 0; k < max_responses; ++k) {
+    // Step 2/3: global maximum over templates and positions. |y|^2 compare:
+    // same argmax, no hypot per sample.
+    PeakSelection best;
+    double best_norm = -1.0;
+    for (std::size_t i = 0; i < n_shapes; ++i) {
+      const double* y = reinterpret_cast<const double*>(scratch.ys[i].data());
+      std::size_t idx = 0;
+      double max_norm = -1.0;
+      for (std::size_t j = 0; j < kM; ++j) {
+        const double nrm = y[2 * j] * y[2 * j] + y[2 * j + 1] * y[2 * j + 1];
+        if (nrm > max_norm) {
+          max_norm = nrm;
+          idx = j;
+        }
+      }
+      if (max_norm > best_norm) {
+        best_norm = max_norm;
+        best = {static_cast<int>(i), idx, 0.0};
+      }
+    }
+    UWB_ENSURES(best.shape >= 0);
+    const CVec& best_y = scratch.ys[static_cast<std::size_t>(best.shape)];
+    best.mag = std::abs(best_y[best.index]);
+
+    const double noise = dsp::noise_sigma_estimate(best_y);
+    if (best.mag < config_.noise_threshold_factor * noise) break;
+    if (strongest > 0.0 &&
+        best.mag < config_.relative_stop_fraction * strongest)
+      break;
+    strongest = std::max(strongest, best.mag);
+
+    const auto& entry = bank.entries[static_cast<std::size_t>(best.shape)];
+    double frac = 0.0, mag_refined = best.mag;
+    refine_peak(best_y, best.index, best.mag, &frac, &mag_refined);
+    const Complex amp_at_peak =
+        best_y[best.index] * (mag_refined / best.mag) / entry.raw_norm;
+
+    DetectedResponse resp;
+    resp.index_upsampled = static_cast<double>(best.index) + frac +
+                           static_cast<double>(entry.centre_index);
+    resp.tau_s = resp.index_upsampled * ts_up;
+    resp.amplitude = amp_at_peak;
+    resp.shape_index =
+        config_.shape_registers.size() > 1 ? best.shape : -1;
+    found.push_back(resp);
+
+    if (k + 1 == max_responses) break;  // last iteration: no update needed
+
+    // Step 5: subtract the estimated response from the residual, capturing
+    // the subtracted waveform for the incremental correlation update.
+    const auto n0 = static_cast<std::ptrdiff_t>(best.index);
+    const auto len = static_cast<std::ptrdiff_t>(entry.length);
+    const auto res_n = static_cast<std::ptrdiff_t>(kM);
+    const auto centre = static_cast<double>(entry.centre_index);
+    const std::ptrdiff_t m_lo = std::max<std::ptrdiff_t>(0, -n0);
+    const std::ptrdiff_t m_hi = std::min(len + 1, res_n - n0);
+    CVec& delta = scratch.delta;
+    delta.resize(static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, m_hi - m_lo)));
+    for (std::ptrdiff_t m = m_lo; m < m_hi; ++m) {
+      const double t = (static_cast<double>(m) - centre - frac) * ts_up;
+      const Complex dv = amp_at_peak * dw::pulse_value(entry.reg, t);
+      delta[static_cast<std::size_t>(m - m_lo)] = dv;
+      residual[static_cast<std::size_t>(n0 + m)] -= dv;
+    }
+
+    // Incremental update: the subtraction only changed residual samples
+    // [n0+m_lo, n0+m_hi), so each template's correlation output changes
+    // only where its window overlaps that range — a short direct
+    // correlation (O(K L^2) per iteration) instead of K full transforms.
+    const double* dd = reinterpret_cast<const double*>(delta.data());
+    for (std::size_t i = 0; i < n_shapes; ++i) {
+      const auto len_i =
+          static_cast<std::ptrdiff_t>(bank.entries[i].length);
+      const double* sd = reinterpret_cast<const double*>(
+          bank.entries[i].unit_template.data());
+      double* yd = reinterpret_cast<double*>(scratch.ys[i].data());
+      const std::ptrdiff_t j_lo =
+          std::max<std::ptrdiff_t>(0, n0 + m_lo - len_i + 1);
+      const std::ptrdiff_t j_hi = std::min(res_n, n0 + m_hi);
+      for (std::ptrdiff_t j = j_lo; j < j_hi; ++j) {
+        const std::ptrdiff_t p_lo = std::max(n0 + m_lo, j);
+        const std::ptrdiff_t p_hi = std::min(n0 + m_hi, j + len_i);
+        double acc_r = 0.0, acc_i = 0.0;
+        for (std::ptrdiff_t p = p_lo; p < p_hi; ++p) {
+          // delta[p - n0 - m_lo] * conj(s_i[p - j])
+          const std::ptrdiff_t di = p - n0 - m_lo;
+          const std::ptrdiff_t si = p - j;
+          const double dr = dd[2 * di], dim = dd[2 * di + 1];
+          const double sr = sd[2 * si], sim = sd[2 * si + 1];
+          acc_r += dr * sr + dim * sim;
+          acc_i += dim * sr - dr * sim;
+        }
+        yd[2 * j] -= acc_r;
+        yd[2 * j + 1] -= acc_i;
+      }
+#ifndef NDEBUG
+      // Debug contract: the incrementally maintained output equals a fresh
+      // correlation of the updated residual to floating-point roundoff.
+      {
+        const CVec ref = bank.entries[i].filter.apply(residual);
+        double max_diff = 0.0, ref_peak = 0.0;
+        for (std::size_t j = 0; j < kM; ++j) {
+          max_diff = std::max(max_diff, std::abs(ref[j] - scratch.ys[i][j]));
+          ref_peak = std::max(ref_peak, std::abs(ref[j]));
+        }
+        assert(max_diff <= 1e-6 * (1.0 + ref_peak) &&
+               "incremental matched-filter update diverged from exact");
+      }
+#endif
+    }
+  }
+
   std::sort(found.begin(), found.end(),
             [](const DetectedResponse& a, const DetectedResponse& b) {
               return a.tau_s < b.tau_s;

@@ -8,6 +8,17 @@
 // the requested number of responses is found or the residual hits the noise
 // floor. Detection is amplitude-independent: responses are accepted by rank,
 // not by absolute power bounds (open challenge IV).
+//
+// Two equivalent execution paths (DESIGN.md Sect. 8): the default fast path
+// forward-transforms the residual once per iteration and reuses that
+// spectrum across the whole template bank (fusing the CIR upsample into the
+// first correlation transform), then maintains every template's correlation
+// output *incrementally* after each subtraction — a subtraction only
+// perturbs a ~2-template-length window, so the update is a short windowed
+// correlation instead of K full FFTs. The exact reference path
+// (DetectorConfig::exact_recompute, and always used when tracing) re-runs
+// every matched filter from scratch per iteration; debug builds assert the
+// two paths agree to roundoff.
 #pragma once
 
 #include <cstddef>
@@ -38,6 +49,8 @@ class SearchSubtractDetector final : public ResponseDetector {
   };
 
   /// Like detect(), additionally recording the intermediate filter outputs.
+  /// Tracing always runs the exact full-recompute path (the trace *is* the
+  /// per-iteration filter output of the paper's algorithm).
   DetectionTrace detect_with_trace(const CVec& cir_taps, double ts_s,
                                    int max_responses) const;
 
@@ -55,6 +68,11 @@ class SearchSubtractDetector final : public ResponseDetector {
   };
   static BankCacheStats bank_cache_stats();
 
+  /// Process-wide bank-cache counters aggregated over every thread (what
+  /// the bench JSON reports; worker-thread caches are invisible to the
+  /// main thread otherwise).
+  static BankCacheStats bank_cache_stats_total();
+
   /// Drop the calling thread's cached banks (tests / memory pressure).
   static void clear_bank_cache();
 
@@ -67,6 +85,13 @@ class SearchSubtractDetector final : public ResponseDetector {
   std::vector<DetectedResponse> detect_impl(const CVec& cir_taps, double ts_s,
                                             int max_responses,
                                             DetectionTrace* trace) const;
+  std::vector<DetectedResponse> detect_exact(const CVec& cir_taps,
+                                             const TemplateBank& bank,
+                                             int max_responses,
+                                             DetectionTrace* trace) const;
+  std::vector<DetectedResponse> detect_fast(const CVec& cir_taps,
+                                            const TemplateBank& bank,
+                                            int max_responses) const;
 
   DetectorConfig config_;
   // Handle into the thread-local template-bank cache (lazily resolved; all

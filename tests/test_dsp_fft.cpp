@@ -173,5 +173,113 @@ TEST(UpsampleTest, InvalidArgsThrow) {
   EXPECT_THROW(upsample_fft(CVec{{1, 0}}, 0), PreconditionError);
 }
 
+// --- FftPlan vs an unplanned textbook reference ---------------------------
+//
+// The plan path precomputes twiddle tables, bit-reversal permutations, and
+// Bluestein kernels; `reference_fft_pow2` below recomputes every twiddle
+// with std::polar inside the butterfly loop (the pre-plan implementation).
+// Agreement to ~1e-12 shows the tables are exact, not approximations.
+
+CVec reference_fft_pow2(CVec x, bool inverse) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                       static_cast<double>(len);
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex w = std::polar(1.0, ang * static_cast<double>(j));
+        const Complex u = x[i + j];
+        const Complex v = x[i + j + len / 2] * w;
+        x[i + j] = u + v;
+        x[i + j + len / 2] = u - v;
+      }
+    }
+  }
+  return x;
+}
+
+class PlanVsReferenceTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlanVsReferenceTest, Pow2PlanMatchesUnplannedReference) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  CVec x(n);
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  for (const bool inverse : {false, true}) {
+    CVec planned = x;
+    plan_for(n).transform_pow2(planned.data(), inverse);
+    EXPECT_LT(max_err(planned, reference_fft_pow2(x, inverse)),
+              1e-12 * static_cast<double>(n))
+        << "n=" << n << " inverse=" << inverse;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Lengths, PlanVsReferenceTest,
+                         ::testing::Values(2, 4, 8, 64, 1024, 8192, 16384));
+
+TEST(FftPlanTest, BluesteinPlanMatchesNaiveDft) {
+  // 1016 is the DW1000 PRF-64 CIR length — the Bluestein length that
+  // matters. Also check a small prime for the general case.
+  for (const std::size_t n : {11ul, 1016ul}) {
+    Rng rng(n);
+    CVec x(n);
+    for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    CVec y(n);
+    plan_for(n).transform(x.data(), y.data(), false);
+    EXPECT_LT(max_err(y, naive_dft(x)), 1e-9 * static_cast<double>(n));
+    // Inverse: unscaled conjugate transform; round trip recovers n * x.
+    CVec back(n);
+    plan_for(n).transform(y.data(), back.data(), true);
+    for (auto& v : back) v /= static_cast<double>(n);
+    EXPECT_LT(max_err(back, x), 1e-11);
+  }
+}
+
+TEST(FftPlanTest, TwiddleHalfFusesZeroPaddedDoubling) {
+  // Contract used by the detector's upsample fusion: for x of length m
+  // zero-padded to 2m, even output bins are FFT_m(x) and odd bins are
+  // FFT_m(x modulated by plan_for(2m).twiddle_half()).
+  constexpr std::size_t m = 256;
+  Rng rng(42);
+  CVec x(m);
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  CVec padded(2 * m, Complex{});
+  std::copy(x.begin(), x.end(), padded.begin());
+  plan_for(2 * m).transform_pow2(padded.data(), false);
+
+  CVec even = x;
+  plan_for(m).transform_pow2(even.data(), false);
+  const Complex* w = plan_for(2 * m).twiddle_half();
+  CVec odd(m);
+  for (std::size_t j = 0; j < m; ++j) odd[j] = x[j] * w[j];
+  plan_for(m).transform_pow2(odd.data(), false);
+
+  for (std::size_t k = 0; k < m; ++k) {
+    EXPECT_LT(std::abs(padded[2 * k] - even[k]), 1e-11);
+    EXPECT_LT(std::abs(padded[2 * k + 1] - odd[k]), 1e-11);
+  }
+}
+
+TEST(FftPlanTest, CacheHitsOnRepeatedLengths) {
+  clear_fft_plan_cache();
+  const auto before = fft_plan_cache_stats();
+  plan_for(512);
+  plan_for(512);
+  plan_for(512);
+  const auto after = fft_plan_cache_stats();
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, 2u);
+  // The global aggregate moves with the per-thread counters.
+  const auto total = fft_plan_cache_stats_total();
+  EXPECT_GE(total.hits, after.hits);
+  EXPECT_GE(total.misses, after.misses);
+}
+
 }  // namespace
 }  // namespace uwb::dsp

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Bench-JSON regression gate for CI.
+
+Compares the timing fields of a freshly produced BENCH_*.json against a
+committed baseline and flags slowdowns. Two schemas are understood:
+
+* google-benchmark output (``{"benchmarks": [{"name", "real_time", ...}]}``):
+  every benchmark's ``real_time`` is compared by name.
+* the repo's JsonReport schema (``{"bench", "params", "metrics",
+  "wall_ms", "trials"}``): only the wall-clock fields are compared
+  (``wall_ms`` and the ``mc_wall_ms`` metric when present) — the statistical
+  metrics are covered by the separate determinism check, not by this gate.
+
+Unpinned CI machines are noisy and differ from the machine that produced
+the baseline, so the tolerance is deliberately generous and two-staged:
+ratios above ``--warn`` are reported but pass, ratios above ``--fail``
+fail the job. Benchmarks present on only one side are reported and
+ignored (renames should refresh the baseline).
+
+Usage:
+    check_bench_regression.py --baseline b.json --current c.json \
+        [--warn 1.75] [--fail 3.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_timings(path: str) -> dict[str, float]:
+    """Extract {name: time} from either supported schema."""
+    with open(path) as f:
+        doc = json.load(f)
+    timings: dict[str, float] = {}
+    if "benchmarks" in doc:  # google-benchmark schema
+        for bench in doc["benchmarks"]:
+            if bench.get("run_type") == "aggregate":
+                continue
+            timings[bench["name"]] = float(bench["real_time"])
+    else:  # JsonReport schema
+        if "wall_ms" in doc:
+            timings["wall_ms"] = float(doc["wall_ms"])
+        mc_wall = doc.get("metrics", {}).get("mc_wall_ms")
+        if mc_wall is not None:
+            timings["mc_wall_ms"] = float(mc_wall)
+    return timings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--warn", type=float, default=1.75,
+                        help="ratio above which to print a warning")
+    parser.add_argument("--fail", type=float, default=3.0,
+                        help="ratio above which to fail the run")
+    args = parser.parse_args()
+
+    baseline = load_timings(args.baseline)
+    current = load_timings(args.current)
+
+    missing = sorted(set(baseline) - set(current))
+    added = sorted(set(current) - set(baseline))
+    for name in missing:
+        print(f"NOTE   {name}: in baseline only (refresh the baseline?)")
+    for name in added:
+        print(f"NOTE   {name}: new benchmark, no baseline yet")
+
+    failures = []
+    warnings = []
+    for name in sorted(set(baseline) & set(current)):
+        base, cur = baseline[name], current[name]
+        if base <= 0.0:
+            continue
+        ratio = cur / base
+        status = "ok"
+        if ratio > args.fail:
+            status = "FAIL"
+            failures.append(name)
+        elif ratio > args.warn:
+            status = "WARN"
+            warnings.append(name)
+        print(f"{status:6s} {name}: {base:.4g} -> {cur:.4g}  ({ratio:.2f}x)")
+
+    print(f"\n{len(failures)} failure(s), {len(warnings)} warning(s), "
+          f"{len(set(baseline) & set(current))} compared "
+          f"(warn >{args.warn}x, fail >{args.fail}x)")
+    if failures:
+        print("regression gate FAILED:", ", ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
