@@ -169,7 +169,6 @@ int main(int argc, char** argv) {
                             : 0.0);
   for (const char* m : {"err_twr_m", "err_d1_m", "err_d2_m", "err_d3_m"})
     report.summarize(result, m);
-  report.metric("mc_wall_ms", result.wall_ms());
-  report.metric("mc_threads", static_cast<double>(result.threads_used()));
+  report.runner_metrics(result);
   return report.write_if_requested(opts) ? 0 : 1;
 }

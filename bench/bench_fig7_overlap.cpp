@@ -124,6 +124,6 @@ int main(int argc, char** argv) {
   report.metric("overlapping", static_cast<double>(overlapping));
   report.metric("search_subtract_pct", ss_pct);
   report.metric("threshold_pct", th_pct);
-  report.metric("mc_wall_ms", result.wall_ms());
+  report.runner_metrics(result);
   return report.write_if_requested(opts) ? 0 : 1;
 }

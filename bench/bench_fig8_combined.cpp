@@ -115,6 +115,6 @@ int main(int argc, char** argv) {
                 id_total > 0 ? 100.0 * static_cast<double>(id_correct) /
                                    static_cast<double>(id_total)
                              : 0.0);
-  report.metric("mc_wall_ms", result.wall_ms());
+  report.runner_metrics(result);
   return report.write_if_requested(opts) ? 0 : 1;
 }

@@ -11,6 +11,8 @@
 //   --json PATH   additionally emit a JSON record of the run's parameters
 //                 and metrics (the perf trajectory CI archives as
 //                 BENCH_*.json — see DESIGN.md for the schema)
+//   --trace PATH  enable span tracing and write a Chrome trace_event JSON
+//                 (open in chrome://tracing or ui.perfetto.dev)
 #pragma once
 
 #include <algorithm>
@@ -23,9 +25,8 @@
 #include <utility>
 #include <vector>
 
-#include "dsp/fft.hpp"
-#include "dw1000/pulse.hpp"
-#include "ranging/search_subtract.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "ranging/session.hpp"
 #include "runner/monte_carlo.hpp"
 
@@ -34,11 +35,13 @@ namespace uwb::bench {
 /// Command-line options shared by every bench binary.
 struct BenchOptions {
   int trials = 0;
-  int threads = 0;        // 0 = hardware concurrency
-  std::string json_path;  // empty = no JSON output
+  int threads = 0;         // 0 = hardware concurrency
+  std::string json_path;   // empty = no JSON output
+  std::string trace_path;  // empty = tracing off
 };
 
-/// Parse `--trials N`, `--threads N`, and `--json PATH`.
+/// Parse `--trials N`, `--threads N`, `--json PATH`, and `--trace PATH`
+/// (the latter turns on span tracing process-wide).
 inline BenchOptions parse_options(int argc, char** argv, int default_trials) {
   BenchOptions opts;
   opts.trials = default_trials;
@@ -51,6 +54,9 @@ inline BenchOptions parse_options(int argc, char** argv, int default_trials) {
       if (n > 0) opts.threads = n;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       opts.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      opts.trace_path = argv[++i];
+      obs::set_tracing_enabled(true);
     }
   }
   return opts;
@@ -86,27 +92,38 @@ class JsonReport {
     metrics_.emplace_back(name, number(value));
   }
 
-  /// Write the record to opts.json_path (no-op when --json was not given).
-  /// Returns false on I/O failure.
+  /// Write the JSON record to opts.json_path and/or the Chrome trace to
+  /// opts.trace_path (each a no-op when its flag was not given). Returns
+  /// false on any I/O failure.
   bool write_if_requested(const BenchOptions& opts) const {
-    if (opts.json_path.empty()) return true;
-    const double wall_ms = std::chrono::duration<double, std::milli>(
-                               std::chrono::steady_clock::now() - start_)
-                               .count();
-    std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
-      return false;
+    bool ok = true;
+    if (!opts.json_path.empty()) {
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start_)
+                                 .count();
+      std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+        return false;
+      }
+      std::fprintf(f, "{\n  \"bench\": %s,\n", quote(bench_).c_str());
+      write_object(f, "params", params_);
+      std::vector<Field> metrics = metrics_;
+      append_obs_metrics(metrics);
+      write_object(f, "metrics", metrics);
+      std::fprintf(f, "  \"wall_ms\": %s,\n  \"trials\": %d\n}\n",
+                   number(wall_ms).c_str(), trials_);
+      ok = std::fclose(f) == 0;
+      if (ok) std::printf("\n[json written to %s]\n", opts.json_path.c_str());
     }
-    std::fprintf(f, "{\n  \"bench\": %s,\n", quote(bench_).c_str());
-    write_object(f, "params", params_);
-    std::vector<Field> metrics = metrics_;
-    append_cache_metrics(metrics);
-    write_object(f, "metrics", metrics);
-    std::fprintf(f, "  \"wall_ms\": %s,\n  \"trials\": %d\n}\n",
-                 number(wall_ms).c_str(), trials_);
-    const bool ok = std::fclose(f) == 0;
-    if (ok) std::printf("\n[json written to %s]\n", opts.json_path.c_str());
+    if (!opts.trace_path.empty()) {
+      if (obs::write_chrome_trace(opts.trace_path)) {
+        std::printf("[trace written to %s]\n", opts.trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", opts.trace_path.c_str());
+        ok = false;
+      }
+    }
     return ok;
   }
 
@@ -121,33 +138,73 @@ class JsonReport {
     metric(metric_name + "_count", static_cast<double>(s.count));
   }
 
+  /// Record the Monte-Carlo engine bookkeeping of a run (wall time and
+  /// thread count — `mc_` prefixed, skipped by the determinism diff).
+  void runner_metrics(const runner::TrialResult& result) {
+    metric("mc_wall_ms", result.wall_ms());
+    metric("mc_threads", static_cast<double>(result.threads_used()));
+  }
+
  private:
   using Field = std::pair<std::string, std::string>;
 
-  // Process-wide memo-cache counters (pulse templates, detector template
-  // banks, FFT plans), aggregated over every worker thread. Prefixed
-  // `cache_` — values depend on thread count and scheduling, so the CI
-  // determinism check skips the prefix, like `mc_`.
-  static void append_cache_metrics(std::vector<Field>& metrics) {
-    const auto add = [&metrics](const char* name, std::size_t hits,
-                                std::size_t misses) {
+  // Observability snapshot of the whole run, merged over every worker
+  // shard (obs::MetricsRegistry). Cache hit/miss counters keep their PR 2
+  // `cache_*` keys; everything else is prefixed `obs_`. Both prefixes are
+  // scheduling/thread-count dependent (wall-clock or per-thread memo
+  // traffic), so the CI determinism check skips them, like `mc_`.
+  static void append_obs_metrics(std::vector<Field>& metrics) {
+    const obs::Snapshot snap = obs::MetricsRegistry::instance().aggregate();
+
+    // Memo-cache counters (pulse templates, detector template banks, FFT
+    // plans). Emitted explicitly so the key set stays stable even when a
+    // counter never fired (or instrumentation is compiled out).
+    const auto add_cache = [&metrics, &snap](const char* name) {
+      const double hits = static_cast<double>(
+          snap.counter(std::string("cache_") + name + "_hits"));
+      const double misses = static_cast<double>(
+          snap.counter(std::string("cache_") + name + "_misses"));
       metrics.emplace_back(std::string("cache_") + name + "_hits",
-                           number(static_cast<double>(hits)));
+                           number(hits));
       metrics.emplace_back(std::string("cache_") + name + "_misses",
-                           number(static_cast<double>(misses)));
-      const std::size_t lookups = hits + misses;
-      metrics.emplace_back(
-          std::string("cache_") + name + "_hit_rate",
-          number(lookups ? static_cast<double>(hits) /
-                               static_cast<double>(lookups)
-                         : 0.0));
+                           number(misses));
+      const double lookups = hits + misses;
+      metrics.emplace_back(std::string("cache_") + name + "_hit_rate",
+                           number(lookups > 0.0 ? hits / lookups : 0.0));
     };
-    const auto pulse = dw::pulse_cache_stats_total();
-    add("pulse", pulse.hits, pulse.misses);
-    const auto bank = ranging::SearchSubtractDetector::bank_cache_stats_total();
-    add("bank", bank.hits, bank.misses);
-    const auto plan = dsp::fft_plan_cache_stats_total();
-    add("fft_plan", plan.hits, plan.misses);
+    add_cache("pulse");
+    add_cache("bank");
+    add_cache("fft_plan");
+
+    // Remaining counters and all gauges, under the obs_ prefix.
+    for (const auto& [name, value] : snap.counters)
+      if (name.rfind("cache_", 0) != 0)
+        metrics.emplace_back("obs_" + name,
+                             number(static_cast<double>(value)));
+    for (const auto& [name, value] : snap.gauges)
+      metrics.emplace_back("obs_" + name, number(value));
+
+    // Per-stage span totals (the nested pipeline timings).
+    for (const auto& span : snap.spans) {
+      metrics.emplace_back("obs_span_" + span.name + "_count",
+                           number(static_cast<double>(span.count)));
+      metrics.emplace_back("obs_span_" + span.name + "_total_ms",
+                           number(span.total_ms));
+    }
+
+    // Per-trial latency percentiles from the runner's merged histogram.
+    if (const obs::Histogram* h = snap.histogram("trial_latency_ms")) {
+      metrics.emplace_back("obs_trial_latency_count",
+                           number(static_cast<double>(h->count())));
+      metrics.emplace_back("obs_trial_latency_p50_ms",
+                           number(h->quantile(0.50)));
+      metrics.emplace_back("obs_trial_latency_p90_ms",
+                           number(h->quantile(0.90)));
+      metrics.emplace_back("obs_trial_latency_p99_ms",
+                           number(h->quantile(0.99)));
+      metrics.emplace_back("obs_trial_latency_max_ms", number(h->max()));
+      metrics.emplace_back("obs_trial_latency_mean_ms", number(h->mean()));
+    }
   }
 
   static std::string number(double v) {

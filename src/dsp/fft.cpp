@@ -1,12 +1,13 @@
 #include "dsp/fft.hpp"
 
-#include <atomic>
 #include <cmath>
 #include <numbers>
 #include <unordered_map>
 #include <utility>
 
 #include "common/expects.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace uwb::dsp {
 
@@ -27,9 +28,6 @@ namespace {
 // product through the Annex-G NaN-recovery helper (__muldc3), which
 // dominates the transform cost at any optimisation level.
 inline double* as_doubles(Complex* x) { return reinterpret_cast<double*>(x); }
-
-std::atomic<std::size_t> g_plan_hits{0};
-std::atomic<std::size_t> g_plan_misses{0};
 
 }  // namespace
 
@@ -230,17 +228,17 @@ const FftPlan& plan_for(std::size_t n) {
   PlanCache& cache = plan_cache();
   if (cache.last_n == n) {
     ++cache.hits;
-    g_plan_hits.fetch_add(1, std::memory_order_relaxed);
+    UWB_OBS_COUNT("cache_fft_plan_hits", 1);
     return *cache.last;
   }
   auto it = cache.plans.find(n);
   if (it == cache.plans.end()) {
     ++cache.misses;
-    g_plan_misses.fetch_add(1, std::memory_order_relaxed);
+    UWB_OBS_COUNT("cache_fft_plan_misses", 1);
     it = cache.plans.emplace(n, std::make_unique<FftPlan>(n)).first;
   } else {
     ++cache.hits;
-    g_plan_hits.fetch_add(1, std::memory_order_relaxed);
+    UWB_OBS_COUNT("cache_fft_plan_hits", 1);
   }
   cache.last = it->second.get();
   cache.last_n = n;
@@ -253,8 +251,11 @@ FftPlanCacheStats fft_plan_cache_stats() {
 }
 
 FftPlanCacheStats fft_plan_cache_stats_total() {
-  return {g_plan_hits.load(std::memory_order_relaxed),
-          g_plan_misses.load(std::memory_order_relaxed)};
+  // Registry-backed totals (obs shards sum per-thread counts). Zero in
+  // UWB_OBS_DISABLED builds, where the counting macros compile out.
+  const auto snap = obs::MetricsRegistry::instance().aggregate();
+  return {snap.counter("cache_fft_plan_hits"),
+          snap.counter("cache_fft_plan_misses")};
 }
 
 void clear_fft_plan_cache() {

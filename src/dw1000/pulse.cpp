@@ -1,6 +1,5 @@
 #include "dw1000/pulse.hpp"
 
-#include <atomic>
 #include <cmath>
 #include <numbers>
 #include <unordered_map>
@@ -9,6 +8,8 @@
 #include "common/constants.hpp"
 #include "common/expects.hpp"
 #include "common/hash.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace uwb::dw {
 
@@ -109,9 +110,6 @@ PulseCache& pulse_cache() {
   return cache;
 }
 
-std::atomic<std::size_t> g_pulse_hits{0};
-std::atomic<std::size_t> g_pulse_misses{0};
-
 }  // namespace
 
 const CVec& cached_pulse_template(std::uint8_t tc_pgdelay, double ts_s) {
@@ -121,11 +119,11 @@ const CVec& cached_pulse_template(std::uint8_t tc_pgdelay, double ts_s) {
   const auto it = cache.entries.find(key);
   if (it != cache.entries.end()) {
     ++cache.stats.hits;
-    g_pulse_hits.fetch_add(1, std::memory_order_relaxed);
+    UWB_OBS_COUNT("cache_pulse_hits", 1);
     return it->second;
   }
   ++cache.stats.misses;
-  g_pulse_misses.fetch_add(1, std::memory_order_relaxed);
+  UWB_OBS_COUNT("cache_pulse_misses", 1);
   return cache.entries.emplace(key, sample_pulse_template(tc_pgdelay, ts_s))
       .first->second;
 }
@@ -133,8 +131,10 @@ const CVec& cached_pulse_template(std::uint8_t tc_pgdelay, double ts_s) {
 PulseCacheStats pulse_cache_stats() { return pulse_cache().stats; }
 
 PulseCacheStats pulse_cache_stats_total() {
-  return {g_pulse_hits.load(std::memory_order_relaxed),
-          g_pulse_misses.load(std::memory_order_relaxed)};
+  // Registry-backed totals (obs shards sum per-thread counts). Zero in
+  // UWB_OBS_DISABLED builds, where the counting macros compile out.
+  const auto snap = obs::MetricsRegistry::instance().aggregate();
+  return {snap.counter("cache_pulse_hits"), snap.counter("cache_pulse_misses")};
 }
 
 void clear_pulse_cache() { pulse_cache() = PulseCache{}; }

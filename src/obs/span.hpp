@@ -1,0 +1,49 @@
+// RAII scoped timer feeding the thread-local metrics shard.
+//
+// A Span measures wall time from construction to destruction, maintains the
+// thread-local span stack (so nested stages know their depth — parent spans
+// are simply the enclosing Span objects on the C++ stack), and on exit adds
+// its duration to the shard's per-name totals. While tracing is enabled
+// (trace_sink.hpp) each completed span additionally records a TraceEvent for
+// Chrome trace_event export.
+//
+// `name` must be a string with static storage duration (a literal at the
+// instrumentation site): spans store the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace uwb::obs {
+
+class Span {
+ public:
+  explicit Span(const char* name)
+      : name_(name),
+        shard_(&MetricsRegistry::instance().local_shard()),
+        start_ns_(monotonic_ns()),
+        depth_(shard_->enter_span()) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    shard_->exit_span(name_, start_ns_, monotonic_ns() - start_ns_, depth_);
+  }
+
+  int depth() const { return depth_; }
+
+ private:
+  const char* name_;
+  Shard* shard_;
+  std::uint64_t start_ns_;
+  int depth_;
+};
+
+/// Depth of the calling thread's span stack (0 = no open span). Test hook.
+inline int current_span_depth() {
+  return MetricsRegistry::instance().local_shard().span_depth();
+}
+
+}  // namespace uwb::obs

@@ -1,0 +1,112 @@
+#include "obs/trace_sink.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+namespace uwb::obs {
+
+namespace {
+std::atomic<bool> g_tracing{false};
+}  // namespace
+
+void set_tracing_enabled(bool enabled) {
+  g_tracing.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+std::vector<TraceEvent> collect_trace_events() {
+  std::vector<TraceEvent> events;
+  for (Shard* shard : MetricsRegistry::instance().shards()) {
+    const auto& buf = shard->trace_events();
+    events.insert(events.end(), buf.begin(), buf.end());
+    shard->clear_trace_events();
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.depth < b.depth;
+            });
+  return events;
+}
+
+void clear_trace_events() {
+  for (Shard* shard : MetricsRegistry::instance().shards())
+    shard->clear_trace_events();
+}
+
+namespace {
+
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_us(std::string& out, std::uint64_t ns) {
+  // Microseconds with fixed 3-decimal precision: Chrome's ts/dur unit,
+  // kept exact (1 ns = 0.001 µs) to avoid double rounding.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":";
+    append_json_string(out, e.name);
+    out += ",\"ph\":\"X\",\"cat\":\"uwb\",\"pid\":0,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    append_us(out, e.start_ns);
+    out += ",\"dur\":";
+    append_us(out, e.dur_ns);
+    out += ",\"args\":{\"depth\":";
+    out += std::to_string(e.depth);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string doc = chrome_trace_json(collect_trace_events());
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace uwb::obs

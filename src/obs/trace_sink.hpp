@@ -1,0 +1,38 @@
+// Chrome trace_event export for completed spans.
+//
+// Tracing is off by default: spans then cost two clock reads and a per-name
+// totals update, and no per-event storage. When enabled (runtime flag, e.g.
+// the benches' `--trace FILE`), every completed span is buffered in its
+// shard (capped at Shard::kMaxTraceEventsPerShard) until collected here.
+//
+// The output is the Chrome trace_event "JSON object format": complete events
+// (ph "X") with microsecond timestamps, pid 0, tid = shard id. Open the file
+// in chrome://tracing or https://ui.perfetto.dev. The collectors obey the
+// registry quiescence contract (metrics.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace uwb::obs {
+
+/// Turn per-event recording on/off (process-wide, checked on span exit).
+void set_tracing_enabled(bool enabled);
+bool tracing_enabled();
+
+/// Drain every shard's buffered events into one list, sorted by
+/// (tid, start_ns) for stable output.
+std::vector<TraceEvent> collect_trace_events();
+
+/// Drop all buffered events without collecting them.
+void clear_trace_events();
+
+/// Render events as a Chrome trace_event JSON document.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// collect + render + write to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace uwb::obs

@@ -1,7 +1,6 @@
 #include "ranging/search_subtract.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -11,6 +10,8 @@
 
 #include "common/expects.hpp"
 #include "common/hash.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/matched_filter.hpp"
 #include "dsp/peaks.hpp"
@@ -93,9 +94,6 @@ BankCache& bank_cache() {
   return cache;
 }
 
-std::atomic<std::size_t> g_bank_hits{0};
-std::atomic<std::size_t> g_bank_misses{0};
-
 // Reused per-thread working set of the fast detection path: the residual,
 // its spectra, the per-template correlation outputs, and the subtraction
 // window. One detect() allocates nothing once the thread is warm.
@@ -125,12 +123,12 @@ const SearchSubtractDetector::TemplateBank& SearchSubtractDetector::bank_for(
   const BankCache::Key key{config_.shape_registers, double_bits(ts_up)};
   if (const auto it = cache.entries.find(key); it != cache.entries.end()) {
     ++cache.hits;
-    g_bank_hits.fetch_add(1, std::memory_order_relaxed);
+    UWB_OBS_COUNT("cache_bank_hits", 1);
     bank_ = it->second;
     return *bank_;
   }
   ++cache.misses;
-  g_bank_misses.fetch_add(1, std::memory_order_relaxed);
+  UWB_OBS_COUNT("cache_bank_misses", 1);
 
   auto bank = std::make_shared<TemplateBank>();
   bank->ts_up = ts_up;
@@ -159,8 +157,10 @@ SearchSubtractDetector::bank_cache_stats() {
 
 SearchSubtractDetector::BankCacheStats
 SearchSubtractDetector::bank_cache_stats_total() {
-  return {g_bank_hits.load(std::memory_order_relaxed),
-          g_bank_misses.load(std::memory_order_relaxed)};
+  // Registry-backed totals (obs shards sum per-thread counts). Zero in
+  // UWB_OBS_DISABLED builds, where the counting macros compile out.
+  const auto snap = obs::MetricsRegistry::instance().aggregate();
+  return {snap.counter("cache_bank_hits"), snap.counter("cache_bank_misses")};
 }
 
 void SearchSubtractDetector::clear_bank_cache() {
@@ -331,6 +331,8 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
   CVec& residual = scratch.residual;
   CVec& spec_m = scratch.spec_m;
   spec_m.resize(kM);
+  {
+  UWB_OBS_SPAN("upsample");
   if (factor == 1) {
     residual.resize(kM);
     std::copy(cir_taps.begin(), cir_taps.end(), residual.begin());
@@ -354,6 +356,7 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
     const double inv_m = 1.0 / static_cast<double>(kM);
     for (auto& v : residual) v *= inv_m;
   }
+  }
 
   // Forward spectrum of the zero-padded residual at the bank length P.
   // For the common P == 2M case the transform collapses with the upsample:
@@ -363,6 +366,8 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
   // is zero).
   CVec& spec_p = scratch.spec_p;
   spec_p.resize(kP);
+  {
+  UWB_OBS_SPAN("fft");
   if (kP == kM) {
     std::copy(spec_m.begin(), spec_m.end(), spec_p.begin());
   } else if (kP == 2 * kM) {
@@ -390,14 +395,18 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
               Complex{});
     dsp::plan_for(kP).transform_pow2(spec_p.data(), false);
   }
+  }
 
   // Step 2 (first iteration): one pointwise multiply + inverse transform
   // per template against the shared residual spectrum.
   const std::size_t n_shapes = bank.entries.size();
   if (scratch.ys.size() < n_shapes) scratch.ys.resize(n_shapes);
-  for (std::size_t i = 0; i < n_shapes; ++i)
-    bank.entries[i].filter.apply_spectrum(spec_p.data(), kP, kM,
-                                          scratch.ys[i]);
+  {
+    UWB_OBS_SPAN("bank_correlate");
+    for (std::size_t i = 0; i < n_shapes; ++i)
+      bank.entries[i].filter.apply_spectrum(spec_p.data(), kP, kM,
+                                            scratch.ys[i]);
+  }
 
   std::vector<DetectedResponse> found;
   found.reserve(static_cast<std::size_t>(max_responses));
@@ -407,6 +416,8 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
     // same argmax, no hypot per sample.
     PeakSelection best;
     double best_norm = -1.0;
+    {
+    UWB_OBS_SPAN("peak_pick");
     for (std::size_t i = 0; i < n_shapes; ++i) {
       const double* y = reinterpret_cast<const double*>(scratch.ys[i].data());
       std::size_t idx = 0;
@@ -422,6 +433,7 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
         best_norm = max_norm;
         best = {static_cast<int>(i), idx, 0.0};
       }
+    }
     }
     UWB_ENSURES(best.shape >= 0);
     const CVec& best_y = scratch.ys[static_cast<std::size_t>(best.shape)];
@@ -453,6 +465,7 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
 
     // Step 5: subtract the estimated response from the residual, capturing
     // the subtracted waveform for the incremental correlation update.
+    UWB_OBS_SPAN("subtract_update");
     const auto n0 = static_cast<std::ptrdiff_t>(best.index);
     const auto len = static_cast<std::ptrdiff_t>(entry.length);
     const auto res_n = static_cast<std::ptrdiff_t>(kM);

@@ -4,6 +4,7 @@
 
 #include "common/constants.hpp"
 #include "common/expects.hpp"
+#include "obs/obs.hpp"
 
 namespace uwb::ranging {
 
@@ -110,6 +111,7 @@ void ConcurrentRangingScenario::arm_responder(int responder_id) {
 }
 
 RoundOutcome ConcurrentRangingScenario::run_round() {
+  UWB_OBS_SPAN("session_round");
   initiator_result_.reset();
   truths_.clear();
 
@@ -175,11 +177,17 @@ RoundOutcome ConcurrentRangingScenario::run_round() {
   const int max_responses = config_.detect_max_responses > 0
                                 ? config_.detect_max_responses
                                 : static_cast<int>(responders_.size());
-  out.detections = detector_.detect(r.cir.taps, r.cir.ts_s, max_responses);
+  {
+    UWB_OBS_SPAN("detect");
+    out.detections = detector_.detect(r.cir.taps, r.cir.ts_s, max_responses);
+  }
   const int sync_slot =
       assign_responder(out.sync_responder_id, config_.ranging).slot;
-  out.estimates = interpret_responses(out.detections, config_.ranging,
-                                      out.d_twr_m, sync_slot);
+  {
+    UWB_OBS_SPAN("interpret_responses");
+    out.estimates = interpret_responses(out.detections, config_.ranging,
+                                        out.d_twr_m, sync_slot);
+  }
   if (config_.slot_aware_selection)
     out.estimates = select_slot_responses(out.estimates, config_.ranging);
   return out;

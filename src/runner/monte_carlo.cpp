@@ -6,6 +6,8 @@
 #include "common/expects.hpp"
 #include "common/random.hpp"
 #include "dsp/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "runner/thread_pool.hpp"
 #include "runner/worker_context.hpp"
 
@@ -92,13 +94,28 @@ TrialResult MonteCarlo::run(int n_trials, const TrialFn& fn) const {
 
   std::vector<TrialRecorder> records(static_cast<std::size_t>(n_trials));
   const int workers = threads();
+  UWB_OBS_GAUGE_SET("runner_threads", workers);
 
   const auto run_trial = [&](int i) {
     TrialContext ctx;
     ctx.trial_index = i;
     ctx.seed = derive_seed(config_.base_seed, static_cast<std::uint64_t>(i));
     ctx.worker = &WorkerContext::current();
-    fn(ctx, records[static_cast<std::size_t>(i)]);
+    // Per-trial wall time lands in the worker's shard; the registry merge
+    // yields one process-wide latency histogram (obs_trial_latency_* in the
+    // bench JSON). Recorded through the Shard API, not the macros, so the
+    // histogram exists even in UWB_OBS_DISABLED builds (tests rely on
+    // count == n_trials regardless of build flavour).
+    const std::uint64_t t0 = obs::monotonic_ns();
+    {
+      UWB_OBS_SPAN("trial");
+      fn(ctx, records[static_cast<std::size_t>(i)]);
+    }
+    const double elapsed_ms =
+        static_cast<double>(obs::monotonic_ns() - t0) / 1e6;
+    ctx.worker->metrics()
+        .histogram("trial_latency_ms", obs::latency_buckets_ms())
+        .observe(elapsed_ms);
   };
 
   if (workers <= 1 || n_trials <= 1) {

@@ -21,6 +21,10 @@ const std::vector<geom::SpecularPath>& WorkerContext::specular_paths(
   return geom::compute_paths_cached(room, tx, rx, max_order);
 }
 
+obs::Shard& WorkerContext::metrics() const {
+  return obs::MetricsRegistry::instance().local_shard();
+}
+
 WorkerContext::CacheStats WorkerContext::stats() const {
   const auto pulse = dw::pulse_cache_stats();
   const auto path = geom::path_cache_stats();

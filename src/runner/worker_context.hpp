@@ -16,6 +16,7 @@
 #include "common/types.hpp"
 #include "geom/image_source.hpp"
 #include "geom/room.hpp"
+#include "obs/metrics.hpp"
 
 namespace uwb::runner {
 
@@ -43,6 +44,11 @@ class WorkerContext {
     std::size_t bank_misses = 0;
   };
   CacheStats stats() const;
+
+  /// This worker thread's metrics shard (obs::MetricsRegistry). Trials
+  /// record through it with plain non-atomic writes; the registry merges
+  /// shards deterministically after the pool drains.
+  obs::Shard& metrics() const;
 
   /// Drop every cache of the calling thread (tests / memory pressure).
   void clear() const;

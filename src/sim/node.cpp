@@ -5,6 +5,7 @@
 
 #include "common/expects.hpp"
 #include "common/units.hpp"
+#include "obs/obs.hpp"
 
 namespace uwb::sim {
 
@@ -131,7 +132,10 @@ void Node::finalize_batch() {
   }
 
   RxResult result;
-  result.cir = dw::synthesize_cir(arrivals, config_.cir, rng_);
+  {
+    UWB_OBS_SPAN("cir_synthesis");
+    result.cir = dw::synthesize_cir(arrivals, config_.cir, rng_);
+  }
   result.cir.first_path_index = static_cast<double>(config_.cir_anchor_taps);
   result.rx_timestamp =
       dw::noisy_rx_timestamp(config_.timestamping, sync->tc_pgdelay,

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/expects.hpp"
+#include "obs/obs.hpp"
 
 namespace uwb::sim {
 
@@ -11,6 +12,8 @@ void Simulator::at(SimTime t, Action fn) {
 }
 
 void Simulator::dispatch_one() {
+  UWB_OBS_SPAN("sim_dispatch");
+  UWB_OBS_COUNT("sim_events", 1);
   // Moving out of the priority queue requires a const_cast-free copy; take
   // the action by move from a mutable reference to the top element.
   Event ev = std::move(const_cast<Event&>(queue_.top()));

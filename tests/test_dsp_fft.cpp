@@ -275,10 +275,13 @@ TEST(FftPlanTest, CacheHitsOnRepeatedLengths) {
   const auto after = fft_plan_cache_stats();
   EXPECT_EQ(after.misses - before.misses, 1u);
   EXPECT_EQ(after.hits - before.hits, 2u);
-  // The global aggregate moves with the per-thread counters.
+#ifndef UWB_OBS_DISABLED
+  // The registry-backed aggregate moves with the per-thread counters.
+  // (With instrumentation compiled out the aggregate legitimately stays 0.)
   const auto total = fft_plan_cache_stats_total();
   EXPECT_GE(total.hits, after.hits);
   EXPECT_GE(total.misses, after.misses);
+#endif
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "common/random.hpp"
 #include "dw1000/pulse.hpp"
+#include "obs/metrics.hpp"
 #include "geom/image_source.hpp"
 #include "ranging/session.hpp"
 #include "runner/monte_carlo.hpp"
@@ -142,6 +143,22 @@ TEST(MonteCarlo, ChunkSizeNeverAffectsResults) {
   const auto reference = run_mc(4, 50);
   for (const int chunk : {1, 3, 7, 50, 1000})
     expect_bit_identical(reference, run_mc(4, 50, chunk));
+}
+
+TEST(MonteCarlo, TrialLatencyHistogramCountsEveryTrial) {
+  // Every trial's wall time lands in the merged obs registry histogram —
+  // in both build flavours (recorded via the Shard API, not the macros) —
+  // and the aggregate's count equals the trial count for any thread count.
+  for (const int threads : {1, 4}) {
+    obs::MetricsRegistry::instance().reset();
+    run_mc(threads, 61);
+    const obs::Snapshot snap = obs::MetricsRegistry::instance().aggregate();
+    const obs::Histogram* h = snap.histogram("trial_latency_ms");
+    ASSERT_NE(h, nullptr) << "threads=" << threads;
+    EXPECT_EQ(h->count(), 61u) << "threads=" << threads;
+    EXPECT_GE(h->max(), h->min());
+    EXPECT_GE(h->quantile(0.99), h->quantile(0.50));
+  }
 }
 
 TEST(MonteCarlo, TrialsSeeSeedOfTheirIndex) {

@@ -1,25 +1,34 @@
 #!/usr/bin/env python3
-"""Bench-JSON regression gate for CI.
+"""Bench-JSON regression and determinism gate for CI.
 
-Compares the timing fields of a freshly produced BENCH_*.json against a
-committed baseline and flags slowdowns. Two schemas are understood:
+Default mode compares the timing fields of a freshly produced BENCH_*.json
+against a committed baseline and flags slowdowns. Two schemas are
+understood:
 
 * google-benchmark output (``{"benchmarks": [{"name", "real_time", ...}]}``):
   every benchmark's ``real_time`` is compared by name.
 * the repo's JsonReport schema (``{"bench", "params", "metrics",
   "wall_ms", "trials"}``): only the wall-clock fields are compared
   (``wall_ms`` and the ``mc_wall_ms`` metric when present) — the statistical
-  metrics are covered by the separate determinism check, not by this gate.
+  metrics are covered by the determinism mode, not by this gate.
 
 Unpinned CI machines are noisy and differ from the machine that produced
 the baseline, so the tolerance is deliberately generous and two-staged:
 ratios above ``--warn`` are reported but pass, ratios above ``--fail``
-fail the job. Benchmarks present on only one side are reported and
-ignored (renames should refresh the baseline).
+fail the job. A benchmark present in the fresh run but absent from the
+baseline fails with an explicit message (commit a refreshed baseline);
+benchmarks present only in the baseline are reported and ignored.
+
+``--determinism`` mode instead diffs the ``metrics`` objects of two
+JsonReport files (e.g. the same bench run with different ``--threads``)
+and fails on any differing value outside the scheduling-dependent
+prefixes ``mc_``, ``cache_``, and ``obs_`` (wall-clock and per-thread
+bookkeeping, which legitimately vary).
 
 Usage:
     check_bench_regression.py --baseline b.json --current c.json \
         [--warn 1.75] [--fail 3.0]
+    check_bench_regression.py --determinism --baseline a.json --current b.json
 """
 
 from __future__ import annotations
@@ -28,45 +37,60 @@ import argparse
 import json
 import sys
 
+# Metrics whose values depend on thread count, scheduling, or wall time;
+# the determinism diff ignores them.
+NONDETERMINISTIC_PREFIXES = ("mc_", "cache_", "obs_")
+
+
+def fatal(message: str) -> "NoReturn":  # noqa: F821 - py3.8 compat
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path: str) -> dict:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as exc:
+        fatal(f"cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        fatal(f"{path} is not valid JSON: {exc}")
+
 
 def load_timings(path: str) -> dict[str, float]:
     """Extract {name: time} from either supported schema."""
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json(path)
     timings: dict[str, float] = {}
     if "benchmarks" in doc:  # google-benchmark schema
         for bench in doc["benchmarks"]:
             if bench.get("run_type") == "aggregate":
                 continue
-            timings[bench["name"]] = float(bench["real_time"])
-    else:  # JsonReport schema
+            name = bench.get("name")
+            time = bench.get("real_time")
+            if name is None or time is None:
+                fatal(f"{path}: benchmark entry without name/real_time: "
+                      f"{bench!r}")
+            timings[name] = float(time)
+    elif "wall_ms" in doc or "metrics" in doc:  # JsonReport schema
         if "wall_ms" in doc:
             timings["wall_ms"] = float(doc["wall_ms"])
         mc_wall = doc.get("metrics", {}).get("mc_wall_ms")
         if mc_wall is not None:
             timings["mc_wall_ms"] = float(mc_wall)
+    else:
+        fatal(f"{path}: unrecognised schema (expected google-benchmark "
+              f"output or a JsonReport with wall_ms/metrics)")
     return timings
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--current", required=True)
-    parser.add_argument("--warn", type=float, default=1.75,
-                        help="ratio above which to print a warning")
-    parser.add_argument("--fail", type=float, default=3.0,
-                        help="ratio above which to fail the run")
-    args = parser.parse_args()
-
+def check_regression(args: argparse.Namespace) -> int:
     baseline = load_timings(args.baseline)
     current = load_timings(args.current)
 
-    missing = sorted(set(baseline) - set(current))
-    added = sorted(set(current) - set(baseline))
-    for name in missing:
+    baseline_only = sorted(set(baseline) - set(current))
+    current_only = sorted(set(current) - set(baseline))
+    for name in baseline_only:
         print(f"NOTE   {name}: in baseline only (refresh the baseline?)")
-    for name in added:
-        print(f"NOTE   {name}: new benchmark, no baseline yet")
 
     failures = []
     warnings = []
@@ -87,10 +111,62 @@ def main() -> int:
     print(f"\n{len(failures)} failure(s), {len(warnings)} warning(s), "
           f"{len(set(baseline) & set(current))} compared "
           f"(warn >{args.warn}x, fail >{args.fail}x)")
+    if current_only:
+        print(f"baseline {args.baseline} is missing benchmark(s) present in "
+              f"the current run: {', '.join(current_only)}\n"
+              f"-> run the bench on the baseline machine and commit a "
+              f"refreshed baseline file")
+        return 1
     if failures:
         print("regression gate FAILED:", ", ".join(failures))
         return 1
     return 0
+
+
+def check_determinism(args: argparse.Namespace) -> int:
+    docs = [load_json(args.baseline), load_json(args.current)]
+    for path, doc in zip((args.baseline, args.current), docs):
+        if "metrics" not in doc:
+            fatal(f"{path}: no 'metrics' object (determinism mode expects "
+                  f"the JsonReport schema)")
+    a, b = (doc["metrics"] for doc in docs)
+
+    skipped = {name for name in set(a) | set(b)
+               if name.startswith(NONDETERMINISTIC_PREFIXES)}
+    checked = sorted((set(a) | set(b)) - skipped)
+    diffs = []
+    for name in checked:
+        if name not in a or name not in b or a[name] != b[name]:
+            diffs.append(name)
+            print(f"DIFF   {name}: {a.get(name, '<absent>')} != "
+                  f"{b.get(name, '<absent>')}")
+
+    print(f"\n{len(checked)} metric(s) compared, {len(skipped)} skipped "
+          f"({'/'.join(NONDETERMINISTIC_PREFIXES)} prefixes), "
+          f"{len(diffs)} differ")
+    if diffs:
+        print("determinism check FAILED: metrics differ across runs that "
+              "must be bit-identical")
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--warn", type=float, default=1.75,
+                        help="ratio above which to print a warning")
+    parser.add_argument("--fail", type=float, default=3.0,
+                        help="ratio above which to fail the run")
+    parser.add_argument("--determinism", action="store_true",
+                        help="diff the metrics objects for bit-identity "
+                             "instead of gating wall times")
+    args = parser.parse_args()
+
+    if args.determinism:
+        return check_determinism(args)
+    return check_regression(args)
 
 
 if __name__ == "__main__":

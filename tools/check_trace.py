@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by the obs TraceSink.
+
+Checks that the file parses, uses the trace_event "JSON object format"
+with complete events (ph "X"), that every event carries the fields the
+viewers need (name/ts/dur/pid/tid), and that the span nesting recorded in
+args.depth is structurally consistent per thread: an event at depth d+1
+must lie within the time bounds of an enclosing event at depth d.
+
+Usage:
+    check_trace.py TRACE.json [--min-events N] [--require-name NAME ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="fail when fewer events are present")
+    parser.add_argument("--require-name", action="append", default=[],
+                        help="span name that must appear (repeatable)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except OSError as exc:
+        fail(f"cannot read {args.trace}: {exc}")
+    except json.JSONDecodeError as exc:
+        fail(f"{args.trace} is not valid JSON: {exc}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' must be an array")
+    if len(events) < args.min_events:
+        fail(f"only {len(events)} event(s), expected >= {args.min_events}")
+
+    required_fields = ("name", "ph", "ts", "dur", "pid", "tid")
+    for i, ev in enumerate(events):
+        for field in required_fields:
+            if field not in ev:
+                fail(f"event {i} is missing '{field}': {ev!r}")
+        if ev["ph"] != "X":
+            fail(f"event {i} has ph={ev['ph']!r}, expected complete "
+                 f"events ('X')")
+        if float(ev["dur"]) < 0 or float(ev["ts"]) < 0:
+            fail(f"event {i} has negative ts/dur: {ev!r}")
+
+    names = {ev["name"] for ev in events}
+    for name in args.require_name:
+        if name not in names:
+            fail(f"required span {name!r} not present (have: "
+                 f"{', '.join(sorted(names))})")
+
+    # Nesting consistency: within a tid, walk events in start order keeping
+    # a stack of open spans; an event at depth d must fit inside the
+    # currently open event at depth d-1.
+    by_tid: dict = {}
+    for ev in events:
+        by_tid.setdefault(ev["tid"], []).append(ev)
+    checked = 0
+    for tid, evs in by_tid.items():
+        evs.sort(key=lambda e: (float(e["ts"]),
+                                -int(e.get("args", {}).get("depth", 0))))
+        stack = []  # (depth, start, end)
+        for ev in evs:
+            depth = int(ev.get("args", {}).get("depth", 0))
+            start = float(ev["ts"])
+            end = start + float(ev["dur"])
+            while stack and stack[-1][0] >= depth:
+                stack.pop()
+            if stack:
+                parent_depth, parent_start, parent_end = stack[-1]
+                if parent_depth == depth - 1:
+                    # Tolerance: timestamps are rounded to 1 ns.
+                    if start < parent_start - 0.001 or end > parent_end + 0.001:
+                        fail(f"tid {tid}: span {ev['name']!r} "
+                             f"[{start}, {end}] escapes its parent "
+                             f"[{parent_start}, {parent_end}]")
+                    checked += 1
+            stack.append((depth, start, end))
+
+    print(f"{args.trace}: {len(events)} events, {len(by_tid)} thread(s), "
+          f"{len(names)} span name(s), {checked} nesting relations OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
