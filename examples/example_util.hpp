@@ -1,0 +1,100 @@
+// Small validated flag parser shared by the examples.
+//
+// Every numeric flag is parsed with full-string validation (no silent
+// atoi()-style truncation of garbage to 0) and checked against an explicit
+// range; violations print the offending flag, the accepted range, and the
+// example's usage string, then exit(2). Keeps the examples honest without
+// dragging in a real CLI library.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace uwb::examples {
+
+class FlagParser {
+ public:
+  /// `usage` is printed on any parse error and for --help/-h.
+  FlagParser(int argc, char** argv, std::string usage)
+      : argc_(argc), argv_(argv), usage_(std::move(usage)) {}
+
+  /// True while arguments remain; advances to the next one.
+  bool next() { return ++i_ < argc_; }
+
+  /// Current argument equals `flag`.
+  bool is(const char* flag) const { return std::strcmp(argv_[i_], flag) == 0; }
+
+  const char* current() const { return argv_[i_]; }
+
+  /// Consume the value of the current flag; dies if none follows.
+  const char* value() {
+    if (i_ + 1 >= argc_) fail("missing value for %s", argv_[i_]);
+    return argv_[++i_];
+  }
+
+  /// Consume and parse an integer value in [lo, hi].
+  long int_value(long lo, long hi) {
+    const char* flag = argv_[i_];
+    const char* v = value();
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(v, &end, 10);
+    if (errno != 0 || end == v || *end != '\0')
+      fail("%s expects an integer, got '%s'", flag, v);
+    if (parsed < lo || parsed > hi)
+      fail("%s must be in [%ld, %ld], got %ld", flag, lo, hi, parsed);
+    return parsed;
+  }
+
+  /// Consume and parse a floating-point value in [lo, hi].
+  double double_value(double lo, double hi) {
+    const char* flag = argv_[i_];
+    const char* v = value();
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(v, &end);
+    if (errno != 0 || end == v || *end != '\0')
+      fail("%s expects a number, got '%s'", flag, v);
+    if (!(parsed >= lo && parsed <= hi))
+      fail("%s must be in [%g, %g], got %g", flag, lo, hi, parsed);
+    return parsed;
+  }
+
+  /// Consume and parse a non-negative seed.
+  unsigned long long seed_value() {
+    const char* flag = argv_[i_];
+    const char* v = value();
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (errno != 0 || end == v || *end != '\0' || v[0] == '-')
+      fail("%s expects a non-negative integer, got '%s'", flag, v);
+    return parsed;
+  }
+
+  /// Handle an argument no flag matched: --help prints usage and exits 0,
+  /// anything else is an error.
+  [[noreturn]] void unknown() {
+    const bool help = is("--help") || is("-h");
+    std::fprintf(help ? stdout : stderr, "usage: %s\n", usage_.c_str());
+    std::exit(help ? 0 : 2);
+  }
+
+  template <typename... Args>
+  [[noreturn]] void fail(const char* fmt, Args... args) {
+    std::fprintf(stderr, fmt, args...);
+    std::fprintf(stderr, "\nusage: %s\n", usage_.c_str());
+    std::exit(2);
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  std::string usage_;
+  int i_ = 0;
+};
+
+}  // namespace uwb::examples

@@ -9,16 +9,27 @@
 #include <vector>
 
 #include "dw1000/energy.hpp"
+#include "example_util.hpp"
 #include "loc/anchor_system.hpp"
 #include "loc/tracker.hpp"
 #include "ranging/capacity.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uwb;
+
+  std::uint64_t seed = 7;
+  double step_m = 0.4;
+  examples::FlagParser p(argc, argv,
+                         "office_localization [--seed X] [--step M]");
+  while (p.next()) {
+    if (p.is("--seed")) seed = p.seed_value();
+    else if (p.is("--step")) step_m = p.double_value(0.05, 5.0);
+    else p.unknown();
+  }
 
   loc::AnchorSystemConfig cfg;
   cfg.scenario.room = geom::Room::rectangular(12.0, 8.0, 10.0);
-  cfg.scenario.seed = 7;
+  cfg.scenario.seed = seed;
   cfg.scenario.ranging.num_slots = 4;
   cfg.scenario.ranging.slot_spacing_s = 120e-9;
   cfg.scenario.responders = {
@@ -31,13 +42,14 @@ int main() {
 
   // The tag walks at ~1 m/s with 2.5 fixes per second (concurrent ranging
   // makes high fix rates cheap: one TX+RX each).
-  std::printf("tag walking a path, 0.4 m between fixes:\n\n");
+  std::printf("tag walking a path, %.1f m between fixes:\n\n", step_m);
   const geom::Vec2 waypoints[] = {{2.0, 2.0}, {6.0, 4.0}, {10.0, 6.0},
                                   {9.0, 3.0}, {6.0, 2.0}, {3.5, 5.5}};
   std::vector<geom::Vec2> path;
   for (std::size_t w = 0; w + 1 < std::size(waypoints); ++w) {
     const geom::Vec2 a = waypoints[w], b = waypoints[w + 1];
-    const int steps = std::max(1, static_cast<int>(geom::distance(a, b) / 0.4));
+    const int steps =
+        std::max(1, static_cast<int>(geom::distance(a, b) / step_m));
     for (int s = 0; s < steps; ++s)
       path.push_back(a + (b - a) * (static_cast<double>(s) / steps));
   }
@@ -51,7 +63,7 @@ int main() {
     if (!fix.ok) continue;
     ++fixes;
     total_err += fix.error_m;
-    const geom::Vec2 tracked = tracker.update(fix.position, 0.4);
+    const geom::Vec2 tracked = tracker.update(fix.position, step_m);
     total_tracked_err += geom::distance(tracked, p);
   }
   std::printf("fixes            : %d / %zu path points\n", fixes, path.size());

@@ -2,25 +2,33 @@
 //
 //   ranging_cli [--responders N] [--slots S] [--shapes P] [--rounds R]
 //               [--room WxH] [--seed X] [--ideal-tx] [--csv FILE]
+//               [--loss P] [--retries K]
 //
 // Places N responders on a ring around the initiator, runs R rounds, and
 // prints per-responder statistics; optionally exports per-round estimates
-// as CSV for plotting.
+// as CSV for plotting. --loss enables the fault injector (preamble miss /
+// CRC / late-TX / dropout at probability P) and --retries bounded retry
+// with deterministic backoff, demonstrating graceful degradation.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <map>
 #include <numbers>
 #include <string>
 
 #include "common/csv.hpp"
 #include "dsp/stats.hpp"
+#include "example_util.hpp"
 #include "ranging/session.hpp"
 
 namespace {
 
 using namespace uwb;
+
+constexpr const char* kUsage =
+    "ranging_cli [--responders N] [--slots S] [--shapes P] [--rounds R]\n"
+    "            [--room WxH] [--seed X] [--ideal-tx] [--csv FILE]\n"
+    "            [--loss P] [--retries K]";
 
 struct Options {
   int responders = 6;
@@ -32,47 +40,40 @@ struct Options {
   std::uint64_t seed = 1;
   bool ideal_tx = false;
   std::string csv_path;
+  double loss = 0.0;
+  int retries = 0;
 };
 
 Options parse(int argc, char** argv) {
   Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const auto is = [&](const char* flag) { return std::strcmp(argv[i], flag) == 0; };
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", argv[i]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (is("--responders")) opt.responders = std::atoi(next());
-    else if (is("--slots")) opt.slots = std::atoi(next());
-    else if (is("--shapes")) opt.shapes = std::atoi(next());
-    else if (is("--rounds")) opt.rounds = std::atoi(next());
-    else if (is("--seed")) opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
-    else if (is("--ideal-tx")) opt.ideal_tx = true;
-    else if (is("--csv")) opt.csv_path = next();
-    else if (is("--room")) {
-      const std::string v = next();
+  examples::FlagParser p(argc, argv, kUsage);
+  while (p.next()) {
+    if (p.is("--responders")) opt.responders = static_cast<int>(p.int_value(1, 256));
+    else if (p.is("--slots")) opt.slots = static_cast<int>(p.int_value(1, 64));
+    else if (p.is("--shapes")) opt.shapes = static_cast<int>(p.int_value(1, 3));
+    else if (p.is("--rounds")) opt.rounds = static_cast<int>(p.int_value(1, 1000000));
+    else if (p.is("--seed")) opt.seed = p.seed_value();
+    else if (p.is("--ideal-tx")) opt.ideal_tx = true;
+    else if (p.is("--csv")) opt.csv_path = p.value();
+    else if (p.is("--loss")) opt.loss = p.double_value(0.0, 1.0);
+    else if (p.is("--retries")) opt.retries = static_cast<int>(p.int_value(0, 16));
+    else if (p.is("--room")) {
+      const std::string v = p.value();
       const auto x = v.find('x');
-      if (x == std::string::npos) {
-        std::fprintf(stderr, "--room expects WxH, e.g. 20x12\n");
-        std::exit(2);
-      }
-      opt.room_w = std::atof(v.substr(0, x).c_str());
-      opt.room_h = std::atof(v.substr(x + 1).c_str());
+      if (x == std::string::npos)
+        p.fail("--room expects WxH, e.g. 20x12, got '%s'", v.c_str());
+      char* end = nullptr;
+      opt.room_w = std::strtod(v.c_str(), &end);
+      if (end != v.c_str() + x)
+        p.fail("--room width is not a number: '%s'", v.c_str());
+      opt.room_h = std::strtod(v.c_str() + x + 1, &end);
+      if (*end != '\0')
+        p.fail("--room height is not a number: '%s'", v.c_str());
+      if (opt.room_w <= 2.0 || opt.room_h <= 2.0)
+        p.fail("--room sides must exceed 2 m, got %gx%g", opt.room_w, opt.room_h);
     } else {
-      std::fprintf(stderr,
-                   "usage: ranging_cli [--responders N] [--slots S] "
-                   "[--shapes P] [--rounds R] [--room WxH] [--seed X] "
-                   "[--ideal-tx] [--csv FILE]\n");
-      std::exit(is("--help") || is("-h") ? 0 : 2);
+      p.unknown();
     }
-  }
-  if (opt.responders < 1 || opt.rounds < 1 || opt.slots < 1 || opt.shapes < 1 ||
-      opt.shapes > 3 || opt.room_w <= 2.0 || opt.room_h <= 2.0) {
-    std::fprintf(stderr, "invalid option values\n");
-    std::exit(2);
   }
   return opt;
 }
@@ -95,14 +96,14 @@ int main(int argc, char** argv) {
   const std::vector<std::uint8_t> all_shapes{0x93, 0xC8, 0xE6};
   cfg.ranging.shape_registers.assign(all_shapes.begin(),
                                      all_shapes.begin() + opt.shapes);
-  if (opt.responders > cfg.ranging.max_responders()) {
-    std::fprintf(stderr,
-                 "%d responders exceed the %d addressable IDs of %d slots x "
-                 "%d shapes\n",
-                 opt.responders, cfg.ranging.max_responders(), opt.slots,
-                 opt.shapes);
-    return 2;
+  if (opt.loss > 0.0) {
+    cfg.fault.enabled = true;
+    cfg.fault.preamble_miss_prob = opt.loss;
+    cfg.fault.crc_error_prob = opt.loss / 4.0;
+    cfg.fault.late_tx_abort_prob = opt.loss / 4.0;
+    cfg.fault.dropout_prob = opt.loss / 8.0;
   }
+  cfg.resilience.max_retries = opt.retries;
 
   // Ring placement, radius bounded by the room.
   const double radius =
@@ -116,7 +117,16 @@ int main(int argc, char** argv) {
              cfg.initiator_position.y + radius * std::sin(ang) * 0.8}});
   }
 
-  ranging::ConcurrentRangingScenario scenario(cfg);
+  // The Status path reports bad configurations (e.g. more responders than
+  // the slot/shape plan can address) as a clear message, not an abort.
+  auto created = ranging::ConcurrentRangingScenario::create(std::move(cfg));
+  if (!created.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 created.status().message().c_str());
+    return 2;
+  }
+  ranging::ConcurrentRangingScenario& scenario = *created.value();
+
   std::unique_ptr<CsvWriter> csv;
   if (!opt.csv_path.empty()) {
     csv = std::make_unique<CsvWriter>(opt.csv_path);
@@ -128,9 +138,12 @@ int main(int argc, char** argv) {
   }
 
   std::map<int, RVec> errors;
+  std::map<int, int> status_ok;
   int decoded_rounds = 0;
   for (int r = 0; r < opt.rounds; ++r) {
     const auto out = scenario.run_round();
+    for (const auto& rep : out.responder_reports)
+      if (rep.status == ranging::RangingStatus::kOk) ++status_ok[rep.id];
     if (!out.payload_decoded) continue;
     ++decoded_rounds;
     for (const auto& est : out.estimates) {
@@ -158,6 +171,27 @@ int main(int argc, char** argv) {
                 it->second.size(), dsp::mean(it->second),
                 dsp::stddev(it->second));
   }
+
+  const auto& stats = scenario.stats();
+  if (scenario.fault_injector() != nullptr) {
+    const auto& fc = scenario.fault_injector()->counters();
+    std::printf("\nresilience: %llu retries, %llu degraded rounds, "
+                "%llu failed rounds\n",
+                static_cast<unsigned long long>(stats.retry_attempts),
+                static_cast<unsigned long long>(stats.degraded_rounds),
+                static_cast<unsigned long long>(stats.failed_rounds));
+    std::printf("injected faults: %llu preamble, %llu crc, %llu late-tx, "
+                "%llu dropout rounds\n",
+                static_cast<unsigned long long>(fc.preamble_miss),
+                static_cast<unsigned long long>(fc.crc_error),
+                static_cast<unsigned long long>(fc.late_tx_abort),
+                static_cast<unsigned long long>(fc.dropout_rounds));
+    std::printf("per-responder ok rate:");
+    for (int i = 0; i < opt.responders; ++i)
+      std::printf(" %d:%d/%d", i, status_ok[i], opt.rounds);
+    std::printf("\n");
+  }
+
   if (csv)
     std::printf("\nwrote %zu rows to %s\n", csv->rows_written(),
                 opt.csv_path.c_str());

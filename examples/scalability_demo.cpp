@@ -6,16 +6,24 @@
 #include <cstdio>
 
 #include "common/constants.hpp"
+#include "example_util.hpp"
 #include "ranging/capacity.hpp"
 #include "ranging/session.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uwb;
+
+  std::uint64_t seed = 105;
+  examples::FlagParser p(argc, argv, "scalability_demo [--seed X]");
+  while (p.next()) {
+    if (p.is("--seed")) seed = p.seed_value();
+    else p.unknown();
+  }
 
   ranging::ScenarioConfig cfg;
   cfg.room = geom::Room::rectangular(16.0, 10.0, 10.0);
   cfg.initiator_position = {1.0, 5.0};
-  cfg.seed = 105;
+  cfg.seed = seed;
   cfg.ranging.num_slots = 4;
   cfg.ranging.slot_spacing_s = 150e-9;
   cfg.ranging.shape_registers = {0x93, 0xC8, 0xE6};

@@ -1,0 +1,21 @@
+#include "common/result.hpp"
+
+namespace uwb {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidConfig: return "invalid_config";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kLateTx: return "late_tx";
+    case ErrorCode::kDecodeFailure: return "decode_failure";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  return std::string(uwb::to_string(code_)) + ": " + message_;
+}
+
+}  // namespace uwb

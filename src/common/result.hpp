@@ -1,0 +1,86 @@
+// Recoverable-error handling: status codes and a small Result<T>.
+//
+// UWB_EXPECTS (expects.hpp) stays reserved for programmer-error
+// preconditions; conditions that can legitimately arise at run time from
+// user input or radio behaviour — invalid scenario configurations, timed-out
+// rounds, late delayed transmissions — travel through uwb::Status /
+// uwb::Result<T> so callers can report and degrade instead of aborting.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/expects.hpp"
+
+namespace uwb {
+
+enum class ErrorCode {
+  kOk = 0,
+  /// A user-supplied configuration is out of range or inconsistent.
+  kInvalidConfig,
+  /// An operation gave up waiting (e.g. an RX window expired).
+  kTimeout,
+  /// A delayed transmission could not be honoured (DW1000 HPDWARN).
+  kLateTx,
+  /// A payload was received but could not be decoded.
+  kDecodeFailure,
+};
+
+const char* to_string(ErrorCode code);
+
+/// Success-or-error outcome of an operation with no value.
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status success() { return Status(); }
+  static Status error(ErrorCode code, std::string message) {
+    return Status(code, std::move(message));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining its absence.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}       // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    UWB_EXPECTS(!std::get<Status>(data_).ok());  // an ok-Status carries no value
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The value; precondition ok().
+  T& value() {
+    UWB_EXPECTS(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const {
+    UWB_EXPECTS(ok());
+    return std::get<T>(data_);
+  }
+
+  /// The error (Status::success() when ok()).
+  Status status() const {
+    return ok() ? Status::success() : std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace uwb

@@ -55,7 +55,7 @@ DsTwrSession::DsTwrSession(DsTwrSessionConfig config)
       resp.src = 1;
       resp.rx_timestamp = ts_.t_rx_poll;
       resp.tx_timestamp = actual;
-      responder_->schedule_delayed_tx(resp, actual);
+      if (!responder_->schedule_delayed_tx(resp, actual)) return;
       // Re-enter RX once the RESP is fully transmitted, in time for the
       // FINAL. The RMARKER sits after the SHR, so the frame ends RMARKER +
       // (PHR + payload) later.
@@ -91,7 +91,7 @@ DsTwrSession::DsTwrSession(DsTwrSessionConfig config)
     fin.rx_timestamp = t_rx_resp;
     fin.tx_timestamp = actual;
     fin.aux_timestamp = ts_.t_tx_poll;
-    initiator_->schedule_delayed_tx(fin, actual);
+    if (!initiator_->schedule_delayed_tx(fin, actual)) return;
   });
 }
 

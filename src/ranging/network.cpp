@@ -16,6 +16,35 @@ DetectorConfig network_detector_config(const ConcurrentRangingConfig& ranging) {
 }
 }  // namespace
 
+Status NetworkRangingSession::validate_config(const NetworkConfig& config) {
+  const auto invalid = [](std::string message) {
+    return Status::error(ErrorCode::kInvalidConfig, std::move(message));
+  };
+  try {
+    config.ranging.validate();
+  } catch (const PreconditionError& e) {
+    return invalid(e.what());
+  }
+  if (config.node_positions.size() < 2)
+    return invalid("network needs at least 2 nodes, got " +
+                   std::to_string(config.node_positions.size()));
+  const int responders = static_cast<int>(config.node_positions.size()) - 1;
+  if (responders > config.ranging.max_responders())
+    return invalid(std::to_string(config.node_positions.size()) +
+                   " nodes need " + std::to_string(responders) +
+                   " responder ids per round but the slot/shape plan only " +
+                   "addresses " +
+                   std::to_string(config.ranging.max_responders()));
+  return Status::success();
+}
+
+Result<std::unique_ptr<NetworkRangingSession>> NetworkRangingSession::create(
+    NetworkConfig config) {
+  Status status = validate_config(config);
+  if (!status.ok()) return status;
+  return std::make_unique<NetworkRangingSession>(std::move(config));
+}
+
 NetworkRangingSession::NetworkRangingSession(NetworkConfig config)
     : config_(std::move(config)), rng_(config_.seed),
       detector_(network_detector_config(config_.ranging)) {
@@ -95,7 +124,7 @@ NetworkRound NetworkRangingSession::run_round(int initiator_index) {
       resp.responder_id = static_cast<std::uint8_t>(rid);
       resp.rx_timestamp = r.rx_timestamp;
       resp.tx_timestamp = actual;
-      responder->schedule_delayed_tx(resp, actual);
+      if (!responder->schedule_delayed_tx(resp, actual)) return;
     });
   }
 

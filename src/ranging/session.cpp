@@ -1,6 +1,7 @@
 #include "ranging/session.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/constants.hpp"
 #include "common/expects.hpp"
@@ -10,6 +11,9 @@ namespace uwb::ranging {
 
 namespace {
 constexpr int kInitiatorId = -1;
+/// derive_seed stream tag separating the fault injector's RNG streams from
+/// every simulation stream (which fork from Rng(config.seed) directly).
+constexpr std::uint64_t kFaultSeedStream = 0xFA170001u;
 
 DetectorConfig make_detector_config(const ConcurrentRangingConfig& ranging) {
   DetectorConfig det = ranging.detector;
@@ -18,15 +22,81 @@ DetectorConfig make_detector_config(const ConcurrentRangingConfig& ranging) {
 }
 }  // namespace
 
+const char* to_string(RangingStatus status) {
+  switch (status) {
+    case RangingStatus::kOk: return "ok";
+    case RangingStatus::kNoPreamble: return "no_preamble";
+    case RangingStatus::kCrcError: return "crc_error";
+    case RangingStatus::kLateTxAbort: return "late_tx_abort";
+    case RangingStatus::kTimedOut: return "timed_out";
+  }
+  return "unknown";
+}
+
+void ResilienceConfig::validate() const {
+  UWB_EXPECTS(max_retries >= 0);
+  UWB_EXPECTS(retry_backoff_s > 0.0);
+  UWB_EXPECTS(backoff_factor >= 1.0);
+  UWB_EXPECTS(rx_extra_listen_s > 0.0);
+}
+
+Status ConcurrentRangingScenario::validate_config(const ScenarioConfig& config) {
+  const auto invalid = [](std::string message) {
+    return Status::error(ErrorCode::kInvalidConfig, std::move(message));
+  };
+  try {
+    config.ranging.validate();
+    config.resilience.validate();
+    config.fault.validate();
+  } catch (const PreconditionError& e) {
+    return invalid(e.what());
+  }
+  if (config.responders.empty()) return invalid("no responders configured");
+  std::set<int> ids;
+  for (const ResponderSpec& spec : config.responders) {
+    if (spec.id < 0 || spec.id > 255)
+      return invalid("responder id " + std::to_string(spec.id) +
+                     " outside [0, 255]");
+    if (spec.id >= config.ranging.max_responders())
+      return invalid("responder id " + std::to_string(spec.id) +
+                     " exceeds the " +
+                     std::to_string(config.ranging.max_responders()) +
+                     " addressable ids of " +
+                     std::to_string(config.ranging.num_slots) + " slots x " +
+                     std::to_string(config.ranging.num_pulse_shapes()) +
+                     " pulse shapes");
+    if (!ids.insert(spec.id).second)
+      return invalid("duplicate responder id " + std::to_string(spec.id));
+  }
+  return Status::success();
+}
+
+Result<std::unique_ptr<ConcurrentRangingScenario>>
+ConcurrentRangingScenario::create(ScenarioConfig config) {
+  Status status = validate_config(config);
+  if (!status.ok()) return status;
+  return std::make_unique<ConcurrentRangingScenario>(std::move(config));
+}
+
 ConcurrentRangingScenario::ConcurrentRangingScenario(ScenarioConfig config)
     : config_(std::move(config)), rng_(config_.seed),
       detector_(make_detector_config(config_.ranging)) {
   config_.ranging.validate();
+  config_.resilience.validate();
   UWB_EXPECTS(!config_.responders.empty());
 
   medium_ = std::make_unique<sim::Medium>(
       sim_, channel::ChannelModel(config_.room, config_.channel),
       config_.medium, rng_.fork());
+
+  // The injector never touches rng_: its streams derive from the scenario
+  // seed through an independent splitmix64 stream, so an inert plan leaves
+  // every simulation draw — and therefore every result — byte-identical.
+  if (config_.fault.active()) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        config_.fault, derive_seed(config_.seed, kFaultSeedStream));
+    medium_->set_fault_injector(injector_.get());
+  }
 
   const auto make_node_config = [&](int id, geom::Vec2 pos) {
     sim::NodeConfig nc;
@@ -87,8 +157,12 @@ void ConcurrentRangingScenario::arm_responder(int responder_id) {
     if (!r.frame || r.frame->type != dw::FrameType::Init) return;
     const SlotAssignment a =
         assign_responder(responder_id, config_.ranging);
+    // Injected MCU scheduling jitter perturbs the programmed reply delay
+    // before the hardware quantisation, like a slow interrupt handler would.
+    const double jitter_s =
+        injector_ != nullptr ? injector_->reply_jitter_s(responder_id) : 0.0;
     const dw::DwTimestamp target = r.rx_timestamp.plus_seconds(
-        config_.ranging.response_delay_s + a.extra_delay_s);
+        config_.ranging.response_delay_s + a.extra_delay_s + jitter_s);
     const dw::DwTimestamp actual = node.delayed_tx_time(target);
 
     dw::MacFrame resp;
@@ -97,7 +171,12 @@ void ConcurrentRangingScenario::arm_responder(int responder_id) {
     resp.responder_id = static_cast<std::uint8_t>(responder_id);
     resp.rx_timestamp = r.rx_timestamp;
     resp.tx_timestamp = actual;
-    node.schedule_delayed_tx(resp, actual);
+    if (!node.schedule_delayed_tx(resp, actual)) {
+      // HPDWARN late abort (natural or injected): no frame leaves the
+      // antenna; the round degrades instead of the run aborting.
+      late_aborted_.insert(responder_id);
+      return;
+    }
 
     ResponderTruth truth;
     truth.id = responder_id;
@@ -112,12 +191,71 @@ void ConcurrentRangingScenario::arm_responder(int responder_id) {
 
 RoundOutcome ConcurrentRangingScenario::run_round() {
   UWB_OBS_SPAN("session_round");
+  const int max_attempts = 1 + config_.resilience.max_retries;
+  RoundOutcome out;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      // Deterministic exponential backoff in simulated time before the
+      // next attempt: backoff * factor^(k-1) for retry k.
+      const double backoff_s =
+          config_.resilience.retry_backoff_s *
+          std::pow(config_.resilience.backoff_factor, attempt - 2);
+      sim_.run_until(sim_.now() + SimTime::from_seconds(backoff_s));
+      ++stats_.retry_attempts;
+      UWB_OBS_COUNT("session_retry_attempts", 1);
+    }
+    out = run_attempt();
+    out.attempts = attempt;
+    if (out.payload_decoded) break;
+  }
+
+  fill_reports(out);
+  ++stats_.rounds;
+  if (out.degraded) {
+    ++stats_.degraded_rounds;
+    UWB_OBS_COUNT("session_degraded_rounds", 1);
+  }
+  if (!out.payload_decoded) {
+    ++stats_.failed_rounds;
+    UWB_OBS_COUNT("session_failed_rounds", 1);
+  }
+  return out;
+}
+
+RoundOutcome ConcurrentRangingScenario::run_attempt() {
   initiator_result_.reset();
   truths_.clear();
+  muted_.clear();
+  late_aborted_.clear();
+
+  if (injector_ != nullptr) {
+    injector_->begin_round();
+    // Clock anomalies strike at round boundaries: drift steps perturb the
+    // CFO/Eq. 2 correction, epoch jumps exercise the wrap-aware timestamp
+    // arithmetic. Initiator first, then responders in ascending id order
+    // (deterministic draw order).
+    const auto apply_glitch = [this](int id, sim::Node& node) {
+      const fault::FaultInjector::ClockGlitch g = injector_->clock_glitch(id);
+      if (g.drift_step_ppm != 0.0 || g.epoch_jump_s != 0.0)
+        node.apply_clock_glitch(g.drift_step_ppm, g.epoch_jump_s);
+    };
+    apply_glitch(kInitiatorId, *initiator_);
+    for (auto& [id, node] : responders_) {
+      apply_glitch(id, *node);
+      if (injector_->responder_muted(id)) muted_.insert(id);
+    }
+  }
 
   const SimTime t0 = sim_.now() + SimTime::from_micros(50.0);
   for (auto& [id, node] : responders_) {
     sim::Node* n = node.get();
+    if (muted_.count(id) != 0) {
+      // Mute window: the radio is off for the whole round.
+      sim_.at(t0, [n]() {
+        if (n->in_rx()) n->exit_rx();
+      });
+      continue;
+    }
     sim_.at(t0, [n]() {
       if (!n->in_rx()) n->enter_rx();
     });
@@ -140,10 +278,13 @@ RoundOutcome ConcurrentRangingScenario::run_round() {
       config_.ranging.num_slots > 1
           ? (config_.ranging.num_slots - 1) * config_.ranging.slot_spacing_s
           : 0.0;
+  // Kept as a separate SimTime conversion (not folded into the double sum):
+  // with the default rx_extra_listen_s this reproduces the historical
+  // deadline bit for bit, so zero-fault runs stay byte-identical.
   const SimTime deadline =
       t_tx + SimTime::from_seconds(config_.ranging.response_delay_s +
                                    max_extra) +
-      SimTime::from_micros(5000.0);
+      SimTime::from_seconds(config_.resilience.rx_extra_listen_s);
   sim_.run_until(deadline);
 
   RoundOutcome out;
@@ -161,6 +302,7 @@ RoundOutcome ConcurrentRangingScenario::run_round() {
   out.completed = true;
   out.cir = r.cir;
   out.frames_in_batch = r.frames_in_batch;
+  out.crc_error = r.crc_error;
 
   if (!r.frame || r.frame->type != dw::FrameType::Resp) return out;
   out.payload_decoded = true;
@@ -191,6 +333,50 @@ RoundOutcome ConcurrentRangingScenario::run_round() {
   if (config_.slot_aware_selection)
     out.estimates = select_slot_responses(out.estimates, config_.ranging);
   return out;
+}
+
+void ConcurrentRangingScenario::fill_reports(RoundOutcome& out) const {
+  out.responder_reports.clear();
+  out.responder_reports.reserve(responders_.size());
+
+  const auto transmitted = [&out](int id) {
+    return std::any_of(out.truths.begin(), out.truths.end(),
+                       [id](const ResponderTruth& t) { return t.id == id; });
+  };
+  const auto in_batch = [this](int id) {
+    if (!initiator_result_) return false;
+    const auto& ids = initiator_result_->batch_tx_node_ids;
+    return std::find(ids.begin(), ids.end(), id) != ids.end();
+  };
+
+  for (const auto& [id, node] : responders_) {
+    (void)node;
+    ResponderReport rep;
+    rep.id = id;
+    if (muted_.count(id) != 0) {
+      rep.status = RangingStatus::kTimedOut;  // radio off: silence, timeout
+    } else if (late_aborted_.count(id) != 0) {
+      rep.status = RangingStatus::kLateTxAbort;
+    } else if (!transmitted(id)) {
+      rep.status = RangingStatus::kNoPreamble;  // missed the INIT preamble
+    } else if (!out.completed) {
+      rep.status = RangingStatus::kTimedOut;  // initiator RX window expired
+    } else if (!in_batch(id)) {
+      rep.status = RangingStatus::kNoPreamble;  // RESP lost at the initiator
+    } else if (!out.payload_decoded) {
+      rep.status = RangingStatus::kCrcError;  // sync payload corrupted
+    } else {
+      rep.status = RangingStatus::kOk;
+    }
+    out.responder_reports.push_back(rep);
+  }
+
+  out.degraded =
+      out.payload_decoded &&
+      std::any_of(out.responder_reports.begin(), out.responder_reports.end(),
+                  [](const ResponderReport& r) {
+                    return r.status != RangingStatus::kOk;
+                  });
 }
 
 }  // namespace uwb::ranging

@@ -10,10 +10,14 @@
 #include <optional>
 #include <vector>
 
+#include <set>
+
 #include "channel/channel_model.hpp"
+#include "common/result.hpp"
 #include "dw1000/cir.hpp"
 #include "dw1000/phy_config.hpp"
 #include "dw1000/timestamping.hpp"
+#include "fault/fault.hpp"
 #include "geom/room.hpp"
 #include "ranging/protocol.hpp"
 #include "ranging/search_subtract.hpp"
@@ -23,6 +27,61 @@
 #include "sim/simulator.hpp"
 
 namespace uwb::ranging {
+
+/// Per-responder outcome of a round, from the session's orchestration view
+/// (DESIGN.md Sect. 10 maps each variant to its DW1000 failure mode).
+enum class RangingStatus {
+  /// The responder's RESP reached the initiator's batch and the round's
+  /// sync payload decoded.
+  kOk,
+  /// A preamble detector failed to lock: the responder missed the INIT, or
+  /// its RESP was lost at the initiator.
+  kNoPreamble,
+  /// The RESP arrived but the round's sync payload failed its FCS, so no
+  /// d_TWR anchor exists to place any distance.
+  kCrcError,
+  /// The responder's delayed TX aborted (DW1000 HPDWARN half-period
+  /// warning, or an injected late-TX fault).
+  kLateTxAbort,
+  /// The initiator's RX window expired without attributing this responder
+  /// (muted responder, or no RESP batch formed at all).
+  kTimedOut,
+};
+
+const char* to_string(RangingStatus status);
+
+/// One responder's report for one round (final attempt).
+struct ResponderReport {
+  int id = -1;
+  RangingStatus status = RangingStatus::kTimedOut;
+};
+
+/// Retry/timeout policy of the resilient session. Defaults reproduce the
+/// historical single-attempt behaviour bit for bit.
+struct ResilienceConfig {
+  /// Additional protocol attempts after a failed round (0 = no retry). A
+  /// round fails when its sync payload did not decode.
+  int max_retries = 0;
+  /// Simulated-time backoff before retry k (1-based):
+  /// retry_backoff_s * backoff_factor^(k-1). Deterministic — no randomness.
+  double retry_backoff_s = 500e-6;
+  double backoff_factor = 2.0;
+  /// Extra listen time after the last RPM slot before the initiator's RX
+  /// window times out.
+  double rx_extra_listen_s = 5000e-6;
+
+  void validate() const;
+};
+
+/// Aggregate resilience bookkeeping over a scenario's lifetime.
+struct SessionStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t retry_attempts = 0;
+  /// Rounds whose sync payload decoded but with >= 1 responder not kOk.
+  std::uint64_t degraded_rounds = 0;
+  /// Rounds that still had no decoded payload after all retries.
+  std::uint64_t failed_rounds = 0;
+};
 
 /// A responder taking part in the scenario. The ID determines its RPM slot
 /// and pulse shape via assign_responder().
@@ -60,6 +119,12 @@ struct ScenarioConfig {
   /// calibrated-out, the default for algorithm experiments). See
   /// ranging::estimate_antenna_delay_s for the commissioning procedure.
   double antenna_delay_s = 0.0;
+  /// Fault-injection plan (inert by default; see src/fault/fault.hpp). An
+  /// all-zero plan leaves every RNG stream untouched, so results are
+  /// byte-identical to a build without the subsystem.
+  fault::FaultPlan fault;
+  /// Retry/timeout/degradation policy.
+  ResilienceConfig resilience;
   std::uint64_t seed = 1;
 };
 
@@ -92,18 +157,45 @@ struct RoundOutcome {
   int frames_in_batch = 0;
   /// Ground truth per responder (keyed by arrival, ascending).
   std::vector<ResponderTruth> truths;
+  /// Per-responder status of the final attempt, ascending responder id —
+  /// one entry per configured responder, always populated. A round that
+  /// loses k of N responders still carries the survivors' estimates; the
+  /// casualties are reported here instead of aborting the round.
+  std::vector<ResponderReport> responder_reports;
+  /// Protocol attempts consumed (1 = no retry needed).
+  int attempts = 1;
+  /// Sync payload decoded but at least one responder is not kOk.
+  bool degraded = false;
+  /// The final attempt's sync payload failed its frame check sequence.
+  bool crc_error = false;
 };
 
 class ConcurrentRangingScenario {
  public:
+  /// Precondition: validate_config(config).ok(). Prefer create() when the
+  /// configuration comes from user input.
   explicit ConcurrentRangingScenario(ScenarioConfig config);
   ~ConcurrentRangingScenario();
 
   ConcurrentRangingScenario(const ConcurrentRangingScenario&) = delete;
   ConcurrentRangingScenario& operator=(const ConcurrentRangingScenario&) = delete;
 
-  /// Run one concurrent-ranging round. Can be called repeatedly; simulated
-  /// time advances monotonically and channels are redrawn per round.
+  /// Check a configuration for runtime-recoverable errors (user input):
+  /// returns kInvalidConfig with a human-readable message instead of
+  /// aborting. The constructor keeps UWB_EXPECTS for the same conditions as
+  /// programmer-error preconditions.
+  static Status validate_config(const ScenarioConfig& config);
+
+  /// Validating factory: the Status-path alternative to the throwing
+  /// constructor.
+  static Result<std::unique_ptr<ConcurrentRangingScenario>> create(
+      ScenarioConfig config);
+
+  /// Run one concurrent-ranging round: up to 1 + max_retries protocol
+  /// attempts with deterministic backoff, per-responder status reporting,
+  /// and graceful degradation (survivors keep their estimates when some
+  /// responders fail). Can be called repeatedly; simulated time advances
+  /// monotonically and channels are redrawn per round.
   RoundOutcome run_round();
 
   /// Geometric initiator-responder distance [m].
@@ -118,8 +210,17 @@ class ConcurrentRangingScenario {
   const ScenarioConfig& config() const { return config_; }
   const SearchSubtractDetector& detector() const { return detector_; }
 
+  /// Fault injector (nullptr when the plan is inert).
+  const fault::FaultInjector* fault_injector() const { return injector_.get(); }
+  /// Resilience bookkeeping since construction.
+  const SessionStats& stats() const { return stats_; }
+
  private:
   void arm_responder(int responder_id);
+  /// One protocol attempt (the historical run_round body).
+  RoundOutcome run_attempt();
+  /// Derive the per-responder reports / degraded flag of a finished attempt.
+  void fill_reports(RoundOutcome& out) const;
 
   ScenarioConfig config_;
   Rng rng_;
@@ -128,11 +229,15 @@ class ConcurrentRangingScenario {
   std::unique_ptr<sim::Node> initiator_;
   std::map<int, std::unique_ptr<sim::Node>> responders_;
   SearchSubtractDetector detector_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  SessionStats stats_;
 
-  // Per-round state filled by the node callbacks.
+  // Per-attempt state filled by the node callbacks.
   std::optional<sim::RxResult> initiator_result_;
   dw::DwTimestamp t_tx_init_;
   std::vector<ResponderTruth> truths_;
+  std::set<int> muted_;
+  std::set<int> late_aborted_;
 };
 
 }  // namespace uwb::ranging

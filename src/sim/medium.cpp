@@ -58,6 +58,9 @@ void Medium::transmit(int tx_node_id, const dw::MacFrame& frame,
         af.preamble_start_arrival + SimTime::from_seconds(shr_duration_s);
     af.frame_end_arrival =
         af.preamble_start_arrival + SimTime::from_seconds(frame_duration_s);
+    if (fault_ != nullptr)
+      af.preamble_missed =
+          fault_->miss_preamble(rx_id, af.first_path_amplitude);
 
     Node* target = rx_node;
     sim_.at(af.preamble_start_arrival,

@@ -16,6 +16,7 @@
 #include "common/units.hpp"
 #include "dw1000/frame.hpp"
 #include "dw1000/phy_config.hpp"
+#include "fault/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace uwb::sim {
@@ -43,6 +44,10 @@ struct AirFrame {
   SimTime rmarker_arrival;
   /// Global time the whole frame has arrived.
   SimTime frame_end_arrival;
+  /// Injected fault: the receiver's preamble detector fails on this frame.
+  /// The frame cannot lead or sync a batch; its energy still superposes
+  /// into the CIR when another frame holds the lock.
+  bool preamble_missed = false;
 };
 
 struct MediumParams {
@@ -68,12 +73,21 @@ class Medium {
   const channel::ChannelModel& channel_model() const { return model_; }
   Simulator& simulator() { return sim_; }
 
+  /// Install a fault injector (non-owning; nullptr = no faults). Reception
+  /// faults are decided here; nodes reach the injector through
+  /// fault_injector() for TX/decode faults.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+  fault::FaultInjector* fault_injector() const { return fault_; }
+
  private:
   Simulator& sim_;
   channel::ChannelModel model_;
   MediumParams params_;
   Rng rng_;
   std::map<int, Node*> nodes_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace uwb::sim

@@ -73,22 +73,42 @@ dw::DwTimestamp Node::delayed_tx_time(dw::DwTimestamp rmarker_target) const {
   return dw::quantize_delayed_tx(rmarker_target);
 }
 
-void Node::schedule_delayed_tx(dw::MacFrame frame,
+void Node::apply_clock_glitch(double drift_step_ppm, double epoch_jump_s) {
+  clock_ = dw::ClockModel(
+      clock_.epoch_offset() + SimTime::from_seconds(epoch_jump_s),
+      clock_.drift_ppm() + drift_step_ppm);
+  // local_duration() and the medium's CFO ground truth read config_, which
+  // must stay consistent with the clock model.
+  config_.drift_ppm = clock_.drift_ppm();
+}
+
+bool Node::schedule_delayed_tx(dw::MacFrame frame,
                                dw::DwTimestamp quantized_rmarker) {
   UWB_EXPECTS(quantized_rmarker == delayed_tx_time(quantized_rmarker));
   const SimTime rmarker_global =
       clock_.global_time_of(quantized_rmarker, sim_.now());
   const SimTime preamble_start =
       rmarker_global - local_duration(config_.phy.shr_duration_s());
-  UWB_EXPECTS(preamble_start >= sim_.now());
+  // The target (minus the preamble lead-in) is already in the past: the
+  // hardware raises HPDWARN and the firmware aborts the transmission — a
+  // runtime condition, not a precondition violation.
+  if (preamble_start < sim_.now()) return false;
+  fault::FaultInjector* injector = medium_.fault_injector();
+  if (injector != nullptr && injector->abort_delayed_tx(config_.id))
+    return false;
   sim_.at(preamble_start, [this, frame = std::move(frame), preamble_start]() {
     transmit_at(frame, preamble_start);
   });
+  return true;
 }
 
 void Node::on_air_frame(AirFrame af) {
   if (!rx_enabled_ || sim_.now() < rx_since_) return;
   if (pending_.empty()) {
+    // An injected preamble miss on a would-be leader means the receiver
+    // never locks: the frame is lost outright (its energy superposes only
+    // when another frame already holds the lock).
+    if (af.preamble_missed) return;
     // Batch leader: the receiver locks on and reports once the frame ends.
     sim_.at(af.frame_end_arrival + kFinalizeMargin, [this]() { finalize_batch(); });
     pending_.push_back(std::move(af));
@@ -105,9 +125,12 @@ void Node::finalize_batch() {
   if (!rx_enabled_ || pending_.empty()) return;
 
   // Sync selection: earliest detectable preamble wins unless a much
-  // stronger overlapping frame captures the correlator.
+  // stronger overlapping frame captures the correlator. Frames whose
+  // preamble detection was faulted out can never take the lock (the leader
+  // is guaranteed un-missed by on_air_frame).
   const AirFrame* sync = &pending_.front();
   for (const AirFrame& af : pending_) {
+    if (af.preamble_missed) continue;
     if (af.first_path_amplitude >
         sync->first_path_amplitude * config_.capture_amplitude_ratio)
       sync = &af;
@@ -145,6 +168,9 @@ void Node::finalize_batch() {
                               rng_.normal(0.0, config_.cfo_noise_ppm);
   result.frames_in_batch = static_cast<int>(pending_.size());
   result.sync_tx_node_id = sync->tx_node_id;
+  result.batch_tx_node_ids.reserve(pending_.size());
+  for (const AirFrame& af : pending_)
+    result.batch_tx_node_ids.push_back(af.tx_node_id);
   result.completed_at = sim_.now();
 
   // Payload decode: the sync frame survives if its first-path power clears
@@ -164,10 +190,18 @@ void Node::finalize_batch() {
     interference = std::max(interference, frame_power(af));
   }
   const double sync_power = frame_power(*sync);
-  const bool decodable =
+  bool decodable =
       interference == 0.0 ||
       linear_to_db(sync_power / interference) >= config_.decode_min_sir_db;
-  if (decodable) result.frame = sync->frame;
+  // Injected CRC fault: the payload demodulates but its FCS fails, so the
+  // MAC discards it. Either failure path surfaces as crc_error.
+  fault::FaultInjector* injector = medium_.fault_injector();
+  if (decodable && injector != nullptr && injector->corrupt_crc(config_.id))
+    decodable = false;
+  if (decodable)
+    result.frame = sync->frame;
+  else
+    result.crc_error = true;
 
   energy_.add_rx((sim_.now() - rx_since_).seconds());
   rx_enabled_ = false;

@@ -76,6 +76,13 @@ struct RxResult {
   int frames_in_batch = 0;
   /// Node id of the sync (decoded) transmitter.
   int sync_tx_node_id = -1;
+  /// A sync payload existed but failed its frame check sequence (SIR too
+  /// low against a colliding frame, or an injected CRC fault). `frame` is
+  /// nullopt in that case; CIR and timestamp remain valid.
+  bool crc_error = false;
+  /// Transmitter node ids of every frame superposed in this batch (in
+  /// arrival order) — lets sessions attribute per-responder outcomes.
+  std::vector<int> batch_tx_node_ids;
   SimTime completed_at;
 };
 
@@ -106,7 +113,12 @@ class Node {
 
   /// Schedule the (already quantised) delayed transmission. The frame is
   /// taken by value so the caller can embed `delayed_tx_time()` first.
-  void schedule_delayed_tx(dw::MacFrame frame, dw::DwTimestamp quantized_rmarker);
+  /// Returns false — and transmits nothing — when the radio aborts the
+  /// delayed TX: the target already lies in the past (the DW1000 HPDWARN
+  /// half-period warning; recoverable at run time, e.g. after a clock
+  /// glitch) or an injected late-TX fault fires.
+  [[nodiscard]] bool schedule_delayed_tx(dw::MacFrame frame,
+                                         dw::DwTimestamp quantized_rmarker);
 
   void set_rx_handler(std::function<void(const RxResult&)> handler) {
     rx_handler_ = std::move(handler);
@@ -114,6 +126,11 @@ class Node {
 
   /// Current device time.
   dw::DwTimestamp device_now() const;
+
+  /// Apply a clock anomaly: a crystal drift step [ppm] and/or a counter
+  /// epoch jump [s] (fault injection, DESIGN.md Sect. 10). Takes effect for
+  /// all subsequent timestamps.
+  void apply_clock_glitch(double drift_step_ppm, double epoch_jump_s);
 
   // --- used by the Medium --------------------------------------------------
 

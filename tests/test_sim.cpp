@@ -187,7 +187,7 @@ TEST(NodeTest, DelayedTxHitsRequestedDeviceTime) {
         bench.b->device_now().plus_seconds(400e-6);
     const dw::DwTimestamp actual = bench.b->delayed_tx_time(target);
     f.tx_timestamp = actual;
-    bench.b->schedule_delayed_tx(f, actual);
+    ASSERT_TRUE(bench.b->schedule_delayed_tx(f, actual));
     bench.a->enter_rx();
   });
   bench.sim.run();

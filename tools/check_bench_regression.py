@@ -25,10 +25,19 @@ and fails on any differing value outside the scheduling-dependent
 prefixes ``mc_``, ``cache_``, and ``obs_`` (wall-clock and per-thread
 bookkeeping, which legitimately vary).
 
+``--require-key`` mode checks that the ``metrics`` object of ``--current``
+contains every named key (repeat the flag; a trailing ``*`` matches a
+prefix). CI uses it to assert that the fault/resilience keys
+(``fault_injected_total``, ``session_retry_attempts``, ...) actually made
+it into the bench JSON — a silent schema regression would otherwise turn
+the determinism gate into a vacuous pass.
+
 Usage:
     check_bench_regression.py --baseline b.json --current c.json \
         [--warn 1.75] [--fail 3.0]
     check_bench_regression.py --determinism --baseline a.json --current b.json
+    check_bench_regression.py --current c.json \
+        --require-key fault_injected_total --require-key 'l30_n4_*'
 """
 
 from __future__ import annotations
@@ -151,9 +160,36 @@ def check_determinism(args: argparse.Namespace) -> int:
     return 0
 
 
+def check_required_keys(args: argparse.Namespace) -> int:
+    doc = load_json(args.current)
+    metrics = doc.get("metrics")
+    if metrics is None:
+        fatal(f"{args.current}: no 'metrics' object (require-key mode "
+              f"expects the JsonReport schema)")
+
+    missing = []
+    for key in args.require_key:
+        if key.endswith("*"):
+            hits = [name for name in metrics if name.startswith(key[:-1])]
+            ok = bool(hits)
+            detail = f"{len(hits)} key(s) match" if ok else "no key matches"
+        else:
+            ok = key in metrics
+            detail = f"= {metrics[key]}" if ok else "absent"
+        print(f"{'ok' if ok else 'MISSING':8s} {key}: {detail}")
+        if not ok:
+            missing.append(key)
+
+    print(f"\n{len(args.require_key)} key(s) required, {len(missing)} missing")
+    if missing:
+        print("required-key check FAILED:", ", ".join(missing))
+        return 1
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--baseline")
     parser.add_argument("--current", required=True)
     parser.add_argument("--warn", type=float, default=1.75,
                         help="ratio above which to print a warning")
@@ -162,8 +198,19 @@ def main() -> int:
     parser.add_argument("--determinism", action="store_true",
                         help="diff the metrics objects for bit-identity "
                              "instead of gating wall times")
+    parser.add_argument("--require-key", action="append", default=[],
+                        metavar="KEY",
+                        help="assert KEY exists in --current's metrics "
+                             "(repeatable; trailing * matches a prefix)")
     args = parser.parse_args()
 
+    if args.require_key:
+        if args.determinism or args.baseline:
+            fatal("--require-key is a standalone mode (no --baseline / "
+                  "--determinism)")
+        return check_required_keys(args)
+    if args.baseline is None:
+        fatal("--baseline is required outside --require-key mode")
     if args.determinism:
         return check_determinism(args)
     return check_regression(args)
