@@ -50,7 +50,7 @@ runner::TrialResult evaluate(const bench::BenchOptions& opts,
           if (est.responder_id < 0 || est.responder_id > 8) continue;
           if (seen[static_cast<std::size_t>(est.responder_id)]) continue;
           seen[static_cast<std::size_t>(est.responder_id)] = true;
-          const double truth = scenario.true_distance(est.responder_id);
+          const double truth = scenario.true_distance(est.responder_id).value();
           if (std::abs(est.distance_m - truth) < 1.0)
             rec.count("decoded_ids");
           else

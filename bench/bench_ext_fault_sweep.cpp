@@ -141,7 +141,7 @@ int main(int argc, char** argv) {
               if (est.responder_id < 0 || est.responder_id >= responders)
                 continue;
               const double err =
-                  est.distance_m - scenario.true_distance(est.responder_id);
+                  est.distance_m - scenario.true_distance(est.responder_id).value();
               if (std::abs(err) < 2.0) rec.sample(cell + "_err_m", err);
             }
           });

@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
                                           [static_cast<std::size_t>(j)];
               if (!d.has_value()) continue;
               rec.count("filled");
-              rec.sample("abs_err", std::abs(*d - session.true_distance(i, j)));
+              rec.sample("abs_err", std::abs(*d - session.true_distance(i, j).value()));
             }
         });
 

@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
           for (const auto& spec : cfg.responders)
             if (spec.id == est.responder_id) known = true;
           if (!known) continue;
-          const double truth = scenario.true_distance(est.responder_id);
+          const double truth = scenario.true_distance(est.responder_id).value();
           if (std::abs(est.distance_m - truth) < 1.5) {
             rec.count("id_correct");
             rec.sample("err_id" + std::to_string(est.responder_id),
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   for (const auto& spec : cfg.responders) {
     const auto& errs =
         result.samples("err_id" + std::to_string(spec.id));
-    const double truth = truth_scenario.true_distance(spec.id);
+    const double truth = truth_scenario.true_distance(spec.id).value();
     if (errs.empty()) {
       std::printf("%-6d %-14.2f (never decoded)\n", spec.id, truth);
       continue;

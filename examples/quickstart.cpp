@@ -44,7 +44,7 @@ int main() {
   std::printf("  %-10s %-14s %s\n", "response", "distance [m]", "true [m]");
   for (std::size_t i = 0; i < out.estimates.size(); ++i) {
     std::printf("  %-10zu %-14.3f %.1f\n", i + 1, out.estimates[i].distance_m,
-                scenario.true_distance(static_cast<int>(i)));
+                scenario.true_distance(static_cast<int>(i)).value());
   }
 
   std::printf(

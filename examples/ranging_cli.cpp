@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
     ++decoded_rounds;
     for (const auto& est : out.estimates) {
       if (est.responder_id < 0 || est.responder_id >= opt.responders) continue;
-      const double truth = scenario.true_distance(est.responder_id);
+      const double truth = scenario.true_distance(est.responder_id).value();
       if (std::abs(est.distance_m - truth) < 2.0)
         errors[est.responder_id].push_back(est.distance_m - truth);
       if (csv)
@@ -161,7 +161,7 @@ int main(int argc, char** argv) {
   std::printf("%-6s %-12s %-10s %-12s %s\n", "ID", "true [m]", "seen",
               "bias [m]", "sigma [m]");
   for (int i = 0; i < opt.responders; ++i) {
-    const double truth = scenario.true_distance(i);
+    const double truth = scenario.true_distance(i).value();
     const auto it = errors.find(i);
     if (it == errors.end() || it->second.empty()) {
       std::printf("%-6d %-12.2f 0\n", i, truth);

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     if (est.responder_id < 0) continue;
     std::printf("%-6d %-6d s%-7d %-14.2f %.2f\n", est.responder_id, est.slot,
                 est.shape_index + 1, est.distance_m,
-                scenario.true_distance(est.responder_id));
+                scenario.true_distance(est.responder_id).value());
   }
 
   // Capacity for bigger deployments (paper Sect. VIII).

@@ -29,15 +29,19 @@ enum class ErrorCode {
 
 const char* to_string(ErrorCode code);
 
-/// Success-or-error outcome of an operation with no value.
-class Status {
+/// Success-or-error outcome of an operation with no value. The class-level
+/// [[nodiscard]] makes silently dropping any returned Status a compiler
+/// warning (an error under UWB_WERROR); uwb_lint's nodiscard-result rule
+/// additionally requires the attribute on each returning declaration so the
+/// intent is visible at the call-site's header.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(ErrorCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status success() { return Status(); }
-  static Status error(ErrorCode code, std::string message) {
+  [[nodiscard]] static Status success() { return Status(); }
+  [[nodiscard]] static Status error(ErrorCode code, std::string message) {
     return Status(code, std::move(message));
   }
 
@@ -55,7 +59,7 @@ class Status {
 
 /// A value or the Status explaining its absence.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::move(value)) {}       // NOLINT(google-explicit-constructor)
   Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
@@ -75,7 +79,7 @@ class Result {
   }
 
   /// The error (Status::success() when ok()).
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::success() : std::get<Status>(data_);
   }
 

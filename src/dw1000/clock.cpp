@@ -10,20 +10,22 @@ namespace {
 constexpr std::uint64_t kWrap = std::uint64_t{1} << 40;
 }
 
-std::int64_t DwTimestamp::diff_ticks(DwTimestamp other) const {
+DwTicks DwTimestamp::diff_ticks(DwTimestamp other) const {
   const std::uint64_t d = (ticks_ - other.ticks_) & k::dw_timestamp_mask;
-  if (d >= kWrap / 2) return static_cast<std::int64_t>(d) - static_cast<std::int64_t>(kWrap);
-  return static_cast<std::int64_t>(d);
+  if (d >= kWrap / 2) {
+    return DwTicks(static_cast<std::int64_t>(d) - static_cast<std::int64_t>(kWrap));
+  }
+  return DwTicks(static_cast<std::int64_t>(d));
 }
 
-DwTimestamp DwTimestamp::plus_ticks(std::int64_t delta) const {
+DwTimestamp DwTimestamp::plus_ticks(DwTicks delta) const {
   const auto wrapped = static_cast<std::uint64_t>(
-      static_cast<std::int64_t>(ticks_) + delta);
+      static_cast<std::int64_t>(ticks_) + delta.count());
   return DwTimestamp(wrapped & k::dw_timestamp_mask);
 }
 
-DwTimestamp DwTimestamp::plus_seconds(double s) const {
-  return plus_ticks(static_cast<std::int64_t>(std::llround(s * k::dw_tick_hz)));
+DwTimestamp DwTimestamp::plus_seconds(Seconds s) const {
+  return plus_ticks(to_dw_ticks(s));
 }
 
 DwTimestamp quantize_delayed_tx(DwTimestamp target) {
@@ -31,9 +33,9 @@ DwTimestamp quantize_delayed_tx(DwTimestamp target) {
   return DwTimestamp(target.ticks() & mask);
 }
 
-double delayed_tx_granularity_s() {
-  return static_cast<double>(std::uint64_t{1} << k::dw_delayed_tx_ignored_bits) *
-         k::dw_tick_s;
+Seconds delayed_tx_granularity() {
+  return to_seconds(
+      DwTicks(std::int64_t{1} << k::dw_delayed_tx_ignored_bits));
 }
 
 DwTimestamp ClockModel::device_time(SimTime t) const {

@@ -25,22 +25,24 @@ class DwTimestamp {
   constexpr std::uint64_t ticks() const { return ticks_; }
 
   /// Seconds represented by the raw counter value (0 .. ~17.2 s).
-  double seconds() const { return static_cast<double>(ticks_) * k::dw_tick_s; }
-
-  /// Wrap-aware signed difference (this - other) in ticks, interpreted as
-  /// the shortest distance on the 40-bit circle.
-  std::int64_t diff_ticks(DwTimestamp other) const;
-
-  /// Wrap-aware signed difference in seconds.
-  double diff_seconds(DwTimestamp other) const {
-    return static_cast<double>(diff_ticks(other)) * k::dw_tick_s;
+  Seconds seconds() const {
+    return Seconds(static_cast<double>(ticks_) * k::dw_tick_s);
   }
 
-  /// Advance by a (possibly negative) number of ticks, wrapping.
-  DwTimestamp plus_ticks(std::int64_t delta) const;
+  /// Wrap-aware signed difference (this - other), interpreted as the
+  /// shortest distance on the 40-bit circle.
+  DwTicks diff_ticks(DwTimestamp other) const;
 
-  /// Advance by a duration, wrapping.
-  DwTimestamp plus_seconds(double s) const;
+  /// Wrap-aware signed difference as a physical duration.
+  Seconds diff_seconds(DwTimestamp other) const {
+    return to_seconds(diff_ticks(other));
+  }
+
+  /// Advance by a (possibly negative) tick count, wrapping.
+  DwTimestamp plus_ticks(DwTicks delta) const;
+
+  /// Advance by a duration (rounded to the tick grid), wrapping.
+  DwTimestamp plus_seconds(Seconds s) const;
 
   constexpr bool operator==(const DwTimestamp&) const = default;
 
@@ -53,8 +55,8 @@ class DwTimestamp {
 /// 512-tick (~8.013 ns) boundary.
 DwTimestamp quantize_delayed_tx(DwTimestamp target);
 
-/// Duration of the delayed-TX granularity in seconds (~8.013 ns).
-double delayed_tx_granularity_s();
+/// Duration of the delayed-TX granularity (~8.013 ns).
+Seconds delayed_tx_granularity();
 
 /// Per-node free-running clock: maps global simulation time to the device's
 /// 40-bit counter, including a fixed epoch offset and crystal drift in ppm.

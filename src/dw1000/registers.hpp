@@ -32,17 +32,17 @@ enum class RegFile : std::uint8_t {
 inline constexpr std::uint16_t kTcPgDelaySub = 0x0B;
 
 /// Encode the data-rate bits TXBR[14:13].
-std::uint32_t encode_txbr(DataRate rate);
-DataRate decode_txbr(std::uint32_t tx_fctrl);
+[[nodiscard]] std::uint32_t encode_txbr(DataRate rate);
+[[nodiscard]] DataRate decode_txbr(std::uint32_t tx_fctrl);
 
 /// Encode the PRF bits TXPRF[17:16] (01 = 16 MHz, 10 = 64 MHz).
-std::uint32_t encode_txprf(Prf prf);
-Prf decode_txprf(std::uint32_t tx_fctrl);
+[[nodiscard]] std::uint32_t encode_txprf(Prf prf);
+[[nodiscard]] Prf decode_txprf(std::uint32_t tx_fctrl);
 
 /// Encode the preamble length bits TXPSR[19:18] + PE[21:20].
 /// Supported lengths: 64, 128, 256, 512, 1024, 1536, 2048, 4096.
-std::uint32_t encode_psr(int preamble_symbols);
-int decode_psr(std::uint32_t tx_fctrl);
+[[nodiscard]] std::uint32_t encode_psr(int preamble_symbols);
+[[nodiscard]] int decode_psr(std::uint32_t tx_fctrl);
 
 /// A tiny register file holding raw 32-bit words per (file, sub-address),
 /// with typed encode/decode of the whole PHY configuration.
@@ -50,15 +50,15 @@ class RegisterFile {
  public:
   RegisterFile() = default;
 
-  std::uint32_t read32(RegFile file, std::uint16_t sub = 0) const;
+  [[nodiscard]] std::uint32_t read32(RegFile file, std::uint16_t sub = 0) const;
   void write32(RegFile file, std::uint16_t sub, std::uint32_t value);
 
   /// 40-bit delayed-TX target (DX_TIME). The hardware ignores the low 9
   /// bits; the read-back reflects what was written, the *effective* time is
   /// what quantize_delayed_tx() yields.
   void write_dx_time(DwTimestamp target);
-  DwTimestamp read_dx_time() const;
-  DwTimestamp effective_tx_time() const;
+  [[nodiscard]] DwTimestamp read_dx_time() const;
+  [[nodiscard]] DwTimestamp effective_tx_time() const;
 
   /// Program every PHY field from a typed config.
   void apply_phy_config(const PhyConfig& config);

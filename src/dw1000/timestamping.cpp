@@ -21,7 +21,7 @@ DwTimestamp noisy_rx_timestamp(const TimestampModelParams& params,
                                std::uint8_t tc_pgdelay, DwTimestamp true_arrival,
                                Rng& rng) {
   const double sigma = rx_timestamp_sigma_s(params, tc_pgdelay);
-  return true_arrival.plus_seconds(rng.normal(0.0, sigma));
+  return true_arrival.plus_seconds(Seconds(rng.normal(0.0, sigma)));
 }
 
 double detect_first_path(const CVec& cir_taps, double noise_floor_factor,

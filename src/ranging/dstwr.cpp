@@ -5,22 +5,24 @@
 
 namespace uwb::ranging {
 
-double ds_twr_tof_s(const DsTwrTimestamps& ts) {
-  const double ra = ts.t_rx_resp.diff_seconds(ts.t_tx_poll);
-  const double da = ts.t_tx_final.diff_seconds(ts.t_rx_resp);
-  const double rb = ts.t_rx_final.diff_seconds(ts.t_tx_resp);
-  const double db = ts.t_tx_resp.diff_seconds(ts.t_rx_poll);
+Seconds ds_twr_tof(const DsTwrTimestamps& ts) {
+  const double ra = ts.t_rx_resp.diff_seconds(ts.t_tx_poll).value();
+  const double da = ts.t_tx_final.diff_seconds(ts.t_rx_resp).value();
+  const double rb = ts.t_rx_final.diff_seconds(ts.t_tx_resp).value();
+  const double db = ts.t_tx_resp.diff_seconds(ts.t_rx_poll).value();
   UWB_EXPECTS(ra > 0.0 && da > 0.0 && rb > 0.0 && db > 0.0);
-  return (ra * rb - da * db) / (ra + rb + da + db);
+  // The products of intervals are not themselves durations, so this formula
+  // runs on raw values and re-enters the unit system at the end.
+  return Seconds((ra * rb - da * db) / (ra + rb + da + db));
 }
 
-double ds_twr_distance(const DsTwrTimestamps& ts) {
-  return ds_twr_tof_s(ts) * k::c_air;
+Meters ds_twr_distance(const DsTwrTimestamps& ts) {
+  return distance_from_tof(ds_twr_tof(ts));
 }
 
 DsTwrSession::DsTwrSession(DsTwrSessionConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
-  UWB_EXPECTS(config_.response_delay_s > 0.0);
+  UWB_EXPECTS(config_.response_delay > Seconds(0.0));
   medium_ = std::make_unique<sim::Medium>(
       sim_, channel::ChannelModel(config_.room, config_.channel),
       config_.medium, rng_.fork());
@@ -47,7 +49,7 @@ DsTwrSession::DsTwrSession(DsTwrSessionConfig config)
     if (r.frame->type == dw::FrameType::Init) {
       ts_.t_rx_poll = r.rx_timestamp;
       const dw::DwTimestamp target =
-          r.rx_timestamp.plus_seconds(config_.response_delay_s);
+          r.rx_timestamp.plus_seconds(config_.response_delay);
       const dw::DwTimestamp actual = responder_->delayed_tx_time(target);
       ts_.t_tx_resp = actual;
       dw::MacFrame resp;
@@ -83,7 +85,7 @@ DsTwrSession::DsTwrSession(DsTwrSessionConfig config)
     if (!r.frame || r.frame->type != dw::FrameType::Resp) return;
     const dw::DwTimestamp t_rx_resp = r.rx_timestamp;
     const dw::DwTimestamp target =
-        t_rx_resp.plus_seconds(config_.response_delay_s);
+        t_rx_resp.plus_seconds(config_.response_delay);
     const dw::DwTimestamp actual = initiator_->delayed_tx_time(target);
     dw::MacFrame fin;
     fin.type = dw::FrameType::Final;
@@ -124,7 +126,7 @@ DsTwrResult DsTwrSession::run_round() {
 
   // POLL + RESP + FINAL: two response delays plus three frame airtimes.
   const SimTime deadline =
-      t0 + SimTime::from_seconds(2.0 * config_.response_delay_s) +
+      t0 + to_sim_time(config_.response_delay * 2.0) +
       SimTime::from_micros(2000.0);
   sim_.run_until(deadline);
 
@@ -134,7 +136,7 @@ DsTwrResult DsTwrSession::run_round() {
   if (!final_received_) return result;
   result.ok = true;
   result.timestamps = ts_;
-  result.distance_m = ds_twr_distance(ts_);
+  result.distance_m = ds_twr_distance(ts_).value();
   return result;
 }
 

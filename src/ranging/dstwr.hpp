@@ -37,11 +37,11 @@ struct DsTwrTimestamps {
   dw::DwTimestamp t_rx_final;
 };
 
-/// Asymmetric DS-TWR time of flight [s].
-double ds_twr_tof_s(const DsTwrTimestamps& ts);
+/// Asymmetric DS-TWR time of flight.
+Seconds ds_twr_tof(const DsTwrTimestamps& ts);
 
-/// Asymmetric DS-TWR distance [m].
-double ds_twr_distance(const DsTwrTimestamps& ts);
+/// Asymmetric DS-TWR distance.
+Meters ds_twr_distance(const DsTwrTimestamps& ts);
 
 /// A two-node DS-TWR deployment running on the full radio simulation.
 struct DsTwrSessionConfig {
@@ -53,7 +53,7 @@ struct DsTwrSessionConfig {
   dw::PhyConfig phy;
   dw::CirParams cir;
   dw::TimestampModelParams timestamping;
-  double response_delay_s = 290e-6;
+  Seconds response_delay{290e-6};
   double clock_drift_sigma_ppm = 1.0;
   bool delayed_tx_truncation = true;
   std::uint64_t seed = 1;

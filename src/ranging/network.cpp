@@ -78,11 +78,12 @@ sim::Node& NetworkRangingSession::node(int index) {
   return *nodes_[static_cast<std::size_t>(index)];
 }
 
-double NetworkRangingSession::true_distance(int i, int j) const {
+Meters NetworkRangingSession::true_distance(int i, int j) const {
   UWB_EXPECTS(i >= 0 && i < static_cast<int>(config_.node_positions.size()));
   UWB_EXPECTS(j >= 0 && j < static_cast<int>(config_.node_positions.size()));
-  return geom::distance(config_.node_positions[static_cast<std::size_t>(i)],
-                        config_.node_positions[static_cast<std::size_t>(j)]);
+  return Meters(
+      geom::distance(config_.node_positions[static_cast<std::size_t>(i)],
+                     config_.node_positions[static_cast<std::size_t>(j)]));
 }
 
 int NetworkRangingSession::responder_id_of(int node_index,
@@ -116,7 +117,7 @@ NetworkRound NetworkRangingSession::run_round(int initiator_index) {
                                a](const sim::RxResult& r) {
       if (!r.frame || r.frame->type != dw::FrameType::Init) return;
       const dw::DwTimestamp target = r.rx_timestamp.plus_seconds(
-          config_.ranging.response_delay_s + a.extra_delay_s);
+          Seconds(config_.ranging.response_delay_s + a.extra_delay_s));
       const dw::DwTimestamp actual = responder->delayed_tx_time(target);
       dw::MacFrame resp;
       resp.type = dw::FrameType::Resp;
@@ -180,7 +181,7 @@ NetworkRound NetworkRangingSession::run_round(int initiator_index) {
   ts.t_rx_resp = r.frame->rx_timestamp;
   ts.t_tx_resp = r.frame->tx_timestamp;
   ts.t_rx_init = r.rx_timestamp;
-  const double d_twr = ss_twr_distance(ts, r.carrier_offset_ppm);
+  const double d_twr = ss_twr_distance(ts, r.carrier_offset_ppm).value();
 
   const int max_responses = std::max(
       node_count() - 1,

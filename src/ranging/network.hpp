@@ -74,11 +74,11 @@ class NetworkRangingSession {
   /// Runtime-recoverable configuration check (kInvalidConfig + message
   /// instead of aborting); the constructor keeps UWB_EXPECTS for the same
   /// conditions as programmer-error preconditions.
-  static Status validate_config(const NetworkConfig& config);
+  [[nodiscard]] static Status validate_config(const NetworkConfig& config);
 
   /// Validating factory: the Status-path alternative to the throwing
   /// constructor.
-  static Result<std::unique_ptr<NetworkRangingSession>> create(
+  [[nodiscard]] static Result<std::unique_ptr<NetworkRangingSession>> create(
       NetworkConfig config);
 
   NetworkRangingSession(const NetworkRangingSession&) = delete;
@@ -91,7 +91,7 @@ class NetworkRangingSession {
   NetworkSweep run_full_sweep();
 
   int node_count() const { return static_cast<int>(nodes_.size()); }
-  double true_distance(int i, int j) const;
+  Meters true_distance(int i, int j) const;
   sim::Node& node(int index);
 
  private:

@@ -35,9 +35,9 @@ const char* to_string(RangingStatus status) {
 
 void ResilienceConfig::validate() const {
   UWB_EXPECTS(max_retries >= 0);
-  UWB_EXPECTS(retry_backoff_s > 0.0);
+  UWB_EXPECTS(retry_backoff > Seconds(0.0));
   UWB_EXPECTS(backoff_factor >= 1.0);
-  UWB_EXPECTS(rx_extra_listen_s > 0.0);
+  UWB_EXPECTS(rx_extra_listen > Seconds(0.0));
 }
 
 Status ConcurrentRangingScenario::validate_config(const ScenarioConfig& config) {
@@ -109,7 +109,7 @@ ConcurrentRangingScenario::ConcurrentRangingScenario(ScenarioConfig config)
     nc.cir = config_.cir;
     nc.timestamping = config_.timestamping;
     nc.delayed_tx_truncation = config_.delayed_tx_truncation;
-    nc.antenna_delay_s = config_.antenna_delay_s;
+    nc.antenna_delay = config_.antenna_delay;
     return nc;
   };
 
@@ -140,10 +140,11 @@ sim::Node& ConcurrentRangingScenario::responder_node(int responder_id) {
   return *it->second;
 }
 
-double ConcurrentRangingScenario::true_distance(int responder_id) const {
+Meters ConcurrentRangingScenario::true_distance(int responder_id) const {
   const auto it = responders_.find(responder_id);
   UWB_EXPECTS(it != responders_.end());
-  return geom::distance(config_.initiator_position, it->second->position());
+  return Meters(
+      geom::distance(config_.initiator_position, it->second->position()));
 }
 
 void ConcurrentRangingScenario::set_initiator_position(geom::Vec2 position) {
@@ -161,8 +162,8 @@ void ConcurrentRangingScenario::arm_responder(int responder_id) {
     // before the hardware quantisation, like a slow interrupt handler would.
     const double jitter_s =
         injector_ != nullptr ? injector_->reply_jitter_s(responder_id) : 0.0;
-    const dw::DwTimestamp target = r.rx_timestamp.plus_seconds(
-        config_.ranging.response_delay_s + a.extra_delay_s + jitter_s);
+    const dw::DwTimestamp target = r.rx_timestamp.plus_seconds(Seconds(
+        config_.ranging.response_delay_s + a.extra_delay_s + jitter_s));
     const dw::DwTimestamp actual = node.delayed_tx_time(target);
 
     dw::MacFrame resp;
@@ -180,11 +181,11 @@ void ConcurrentRangingScenario::arm_responder(int responder_id) {
 
     ResponderTruth truth;
     truth.id = responder_id;
-    truth.true_distance_m = true_distance(responder_id);
+    truth.true_distance_m = true_distance(responder_id).value();
     truth.resp_tx_rmarker = node.clock().global_time_of(actual, sim_.now());
     truth.resp_arrival =
         truth.resp_tx_rmarker +
-        SimTime::from_seconds(truth.true_distance_m / k::c_air);
+        to_sim_time(tof_from_distance(Meters(truth.true_distance_m)));
     truths_.push_back(truth);
   });
 }
@@ -197,10 +198,10 @@ RoundOutcome ConcurrentRangingScenario::run_round() {
     if (attempt > 1) {
       // Deterministic exponential backoff in simulated time before the
       // next attempt: backoff * factor^(k-1) for retry k.
-      const double backoff_s =
-          config_.resilience.retry_backoff_s *
+      const Seconds backoff =
+          config_.resilience.retry_backoff *
           std::pow(config_.resilience.backoff_factor, attempt - 2);
-      sim_.run_until(sim_.now() + SimTime::from_seconds(backoff_s));
+      sim_.run_until(sim_.now() + to_sim_time(backoff));
       ++stats_.retry_attempts;
       UWB_OBS_COUNT("session_retry_attempts", 1);
     }
@@ -279,12 +280,12 @@ RoundOutcome ConcurrentRangingScenario::run_attempt() {
           ? (config_.ranging.num_slots - 1) * config_.ranging.slot_spacing_s
           : 0.0;
   // Kept as a separate SimTime conversion (not folded into the double sum):
-  // with the default rx_extra_listen_s this reproduces the historical
+  // with the default rx_extra_listen this reproduces the historical
   // deadline bit for bit, so zero-fault runs stay byte-identical.
   const SimTime deadline =
       t_tx + SimTime::from_seconds(config_.ranging.response_delay_s +
                                    max_extra) +
-      SimTime::from_seconds(config_.resilience.rx_extra_listen_s);
+      to_sim_time(config_.resilience.rx_extra_listen);
   sim_.run_until(deadline);
 
   RoundOutcome out;
@@ -314,7 +315,8 @@ RoundOutcome ConcurrentRangingScenario::run_attempt() {
   ts.t_tx_resp = r.frame->tx_timestamp;
   ts.t_rx_init = r.rx_timestamp;
   out.d_twr_m = ss_twr_distance(
-      ts, config_.cfo_correction ? r.carrier_offset_ppm : 0.0);
+                    ts, config_.cfo_correction ? r.carrier_offset_ppm : 0.0)
+                    .value();
 
   const int max_responses = config_.detect_max_responses > 0
                                 ? config_.detect_max_responses

@@ -63,12 +63,12 @@ struct ResilienceConfig {
   /// round fails when its sync payload did not decode.
   int max_retries = 0;
   /// Simulated-time backoff before retry k (1-based):
-  /// retry_backoff_s * backoff_factor^(k-1). Deterministic — no randomness.
-  double retry_backoff_s = 500e-6;
+  /// retry_backoff * backoff_factor^(k-1). Deterministic — no randomness.
+  Seconds retry_backoff{500e-6};
   double backoff_factor = 2.0;
   /// Extra listen time after the last RPM slot before the initiator's RX
   /// window times out.
-  double rx_extra_listen_s = 5000e-6;
+  Seconds rx_extra_listen{5000e-6};
 
   void validate() const;
 };
@@ -115,10 +115,10 @@ struct ScenarioConfig {
   /// Apply the receiver's carrier-frequency-offset estimate to Eq. 2
   /// (ablation switch: off shows SS-TWR's raw drift sensitivity).
   bool cfo_correction = true;
-  /// Physical per-device antenna delay [s] applied to every node (0 =
+  /// Physical per-device antenna delay applied to every node (0 =
   /// calibrated-out, the default for algorithm experiments). See
-  /// ranging::estimate_antenna_delay_s for the commissioning procedure.
-  double antenna_delay_s = 0.0;
+  /// ranging::estimate_antenna_delay for the commissioning procedure.
+  Seconds antenna_delay{};
   /// Fault-injection plan (inert by default; see src/fault/fault.hpp). An
   /// all-zero plan leaves every RNG stream untouched, so results are
   /// byte-identical to a build without the subsystem.
@@ -184,11 +184,11 @@ class ConcurrentRangingScenario {
   /// returns kInvalidConfig with a human-readable message instead of
   /// aborting. The constructor keeps UWB_EXPECTS for the same conditions as
   /// programmer-error preconditions.
-  static Status validate_config(const ScenarioConfig& config);
+  [[nodiscard]] static Status validate_config(const ScenarioConfig& config);
 
   /// Validating factory: the Status-path alternative to the throwing
   /// constructor.
-  static Result<std::unique_ptr<ConcurrentRangingScenario>> create(
+  [[nodiscard]] static Result<std::unique_ptr<ConcurrentRangingScenario>> create(
       ScenarioConfig config);
 
   /// Run one concurrent-ranging round: up to 1 + max_retries protocol
@@ -198,8 +198,8 @@ class ConcurrentRangingScenario {
   /// monotonically and channels are redrawn per round.
   RoundOutcome run_round();
 
-  /// Geometric initiator-responder distance [m].
-  double true_distance(int responder_id) const;
+  /// Geometric initiator-responder distance.
+  Meters true_distance(int responder_id) const;
 
   /// Move the initiator (e.g. a mobile tag between fixes).
   void set_initiator_position(geom::Vec2 position);

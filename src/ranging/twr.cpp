@@ -5,31 +5,30 @@
 
 namespace uwb::ranging {
 
-double ss_twr_tof_s(const TwrTimestamps& ts, double cfo_ppm) {
-  const double t_round = ts.t_rx_init.diff_seconds(ts.t_tx_init);
-  const double t_reply = ts.t_tx_resp.diff_seconds(ts.t_rx_resp);
-  UWB_EXPECTS(t_round > 0.0);
-  UWB_EXPECTS(t_reply > 0.0);
+Seconds ss_twr_tof(const TwrTimestamps& ts, double cfo_ppm) {
+  const Seconds t_round = ts.t_rx_init.diff_seconds(ts.t_tx_init);
+  const Seconds t_reply = ts.t_tx_resp.diff_seconds(ts.t_rx_resp);
+  UWB_EXPECTS(t_round > Seconds(0.0));
+  UWB_EXPECTS(t_reply > Seconds(0.0));
   // The reply interval ticks on the responder's crystal: a responder
   // running cfo ppm fast reports an inflated reply interval, so rescale it
   // back onto the initiator's timescale before differencing.
   return (t_round - t_reply * (1.0 - cfo_ppm * 1e-6)) / 2.0;
 }
 
-double ss_twr_distance(const TwrTimestamps& ts, double cfo_ppm) {
-  return ss_twr_tof_s(ts, cfo_ppm) * k::c_air;
+Meters ss_twr_distance(const TwrTimestamps& ts, double cfo_ppm) {
+  return distance_from_tof(ss_twr_tof(ts, cfo_ppm));
 }
 
-double estimate_antenna_delay_s(double measured_m, double true_m) {
-  UWB_EXPECTS(true_m >= 0.0);
+Seconds estimate_antenna_delay(Meters measured, Meters true_distance) {
+  UWB_EXPECTS(true_distance >= Meters(0.0));
   // Symmetric delays: d_meas = d_true + c * delay (half per leg, both legs).
-  return (measured_m - true_m) / k::c_air;
+  return tof_from_distance(measured - true_distance);
 }
 
-double correct_antenna_delay_m(double measured_m, double delay_a_s,
-                               double delay_b_s) {
-  UWB_EXPECTS(delay_a_s >= 0.0 && delay_b_s >= 0.0);
-  return measured_m - k::c_air * (delay_a_s + delay_b_s) / 2.0;
+Meters correct_antenna_delay(Meters measured, Seconds delay_a, Seconds delay_b) {
+  UWB_EXPECTS(delay_a >= Seconds(0.0) && delay_b >= Seconds(0.0));
+  return measured - distance_from_tof((delay_a + delay_b) / 2.0);
 }
 
 }  // namespace uwb::ranging

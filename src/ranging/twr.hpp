@@ -20,21 +20,20 @@ struct TwrTimestamps {
   dw::DwTimestamp t_rx_init;  // RESP arrival, initiator clock
 };
 
-/// SS-TWR distance [m]. `cfo_ppm` is the estimated responder-minus-initiator
+/// SS-TWR distance. `cfo_ppm` is the estimated responder-minus-initiator
 /// clock drift (0 disables the correction).
-double ss_twr_distance(const TwrTimestamps& ts, double cfo_ppm = 0.0);
+Meters ss_twr_distance(const TwrTimestamps& ts, double cfo_ppm = 0.0);
 
-/// Time of flight [s] instead of distance.
-double ss_twr_tof_s(const TwrTimestamps& ts, double cfo_ppm = 0.0);
+/// Time of flight instead of distance.
+Seconds ss_twr_tof(const TwrTimestamps& ts, double cfo_ppm = 0.0);
 
 /// Antenna-delay commissioning (Decawave APS014): with two identical
 /// uncalibrated devices a symmetric per-device antenna delay inflates every
 /// SS-TWR distance by c * delay. Estimate it from a known-distance link.
-double estimate_antenna_delay_s(double measured_m, double true_m);
+Seconds estimate_antenna_delay(Meters measured, Meters true_distance);
 
 /// Remove two (possibly different) calibrated antenna delays from a
 /// measured SS-TWR distance.
-double correct_antenna_delay_m(double measured_m, double delay_a_s,
-                               double delay_b_s);
+Meters correct_antenna_delay(Meters measured, Seconds delay_a, Seconds delay_b);
 
 }  // namespace uwb::ranging

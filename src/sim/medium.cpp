@@ -22,7 +22,7 @@ void Medium::register_node(Node& node) {
 
 void Medium::transmit(int tx_node_id, const dw::MacFrame& frame,
                       std::uint8_t tc_pgdelay, SimTime preamble_start,
-                      double shr_duration_s, double frame_duration_s,
+                      Seconds shr_duration, Seconds frame_duration,
                       double tx_drift_ppm) {
   const auto tx_it = nodes_.find(tx_node_id);
   UWB_EXPECTS(tx_it != nodes_.end());
@@ -50,14 +50,13 @@ void Medium::transmit(int tx_node_id, const dw::MacFrame& frame,
     af.tc_pgdelay = tc_pgdelay;
     af.tx_drift_ppm = tx_drift_ppm;
     af.taps = ch.taps;
-    af.first_detectable_delay_s = first->delay_s;
+    af.first_detectable_delay = Seconds(first->delay_s);
     af.first_path_amplitude = std::abs(first->amplitude);
     af.preamble_start_arrival =
         preamble_start + SimTime::from_seconds(first->delay_s);
-    af.rmarker_arrival =
-        af.preamble_start_arrival + SimTime::from_seconds(shr_duration_s);
+    af.rmarker_arrival = af.preamble_start_arrival + to_sim_time(shr_duration);
     af.frame_end_arrival =
-        af.preamble_start_arrival + SimTime::from_seconds(frame_duration_s);
+        af.preamble_start_arrival + to_sim_time(frame_duration);
     if (fault_ != nullptr)
       af.preamble_missed =
           fault_->miss_preamble(rx_id, af.first_path_amplitude);

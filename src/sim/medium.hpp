@@ -34,8 +34,8 @@ struct AirFrame {
   double tx_drift_ppm = 0.0;
   /// Channel taps (absolute propagation delays TX->RX).
   std::vector<channel::Tap> taps;
-  /// Delay of the first path strong enough for the receiver to detect [s].
-  double first_detectable_delay_s = 0.0;
+  /// Delay of the first path strong enough for the receiver to detect.
+  Seconds first_detectable_delay{};
   /// Amplitude magnitude of that first detectable path.
   double first_path_amplitude = 0.0;
   /// Global time the preamble's first detectable copy starts arriving.
@@ -64,10 +64,11 @@ class Medium {
   void register_node(Node& node);
 
   /// Called by a transmitting node at the instant its preamble starts.
-  /// `frame_airtime_local_s` durations are in the transmitter's clock.
+  /// The duration arguments are already rescaled to global time by the
+  /// transmitter's clock model.
   void transmit(int tx_node_id, const dw::MacFrame& frame,
                 std::uint8_t tc_pgdelay, SimTime preamble_start,
-                double shr_duration_s, double frame_duration_s,
+                Seconds shr_duration, Seconds frame_duration,
                 double tx_drift_ppm);
 
   const channel::ChannelModel& channel_model() const { return model_; }

@@ -24,8 +24,8 @@ Node::Node(Simulator& simulator, Medium& medium, NodeConfig config, Rng rng)
   medium_.register_node(*this);
 }
 
-SimTime Node::local_duration(double local_s) const {
-  return SimTime::from_seconds(local_s / (1.0 + config_.drift_ppm * 1e-6));
+SimTime Node::local_duration(Seconds local) const {
+  return SimTime::from_seconds(local.value() / (1.0 + config_.drift_ppm * 1e-6));
 }
 
 dw::DwTimestamp Node::device_now() const { return clock_.device_time(sim_.now()); }
@@ -45,18 +45,17 @@ void Node::exit_rx() {
 }
 
 void Node::transmit_at(const dw::MacFrame& frame, SimTime preamble_start_global) {
-  const double shr_global =
-      local_duration(config_.phy.shr_duration_s()).seconds();
-  const double frame_global =
-      local_duration(config_.phy.frame_duration_s(frame.payload_bytes()))
-          .seconds();
+  const Seconds shr_global =
+      to_seconds(local_duration(Seconds(config_.phy.shr_duration_s())));
+  const Seconds frame_global = to_seconds(local_duration(
+      Seconds(config_.phy.frame_duration_s(frame.payload_bytes()))));
   // The wave leaves the antenna half the antenna delay after the digital
   // timestamp reference (the other half applies on reception).
-  const SimTime radiated = preamble_start_global +
-                           SimTime::from_seconds(config_.antenna_delay_s / 2.0);
+  const SimTime radiated =
+      preamble_start_global + to_sim_time(config_.antenna_delay / 2.0);
   medium_.transmit(config_.id, frame, config_.phy.tc_pgdelay, radiated,
                    shr_global, frame_global, config_.drift_ppm);
-  energy_.add_tx(frame_global);
+  energy_.add_tx(frame_global.value());
 }
 
 dw::DwTimestamp Node::transmit_now(const dw::MacFrame& frame) {
@@ -64,7 +63,7 @@ dw::DwTimestamp Node::transmit_now(const dw::MacFrame& frame) {
   const SimTime preamble_start = sim_.now();
   transmit_at(frame, preamble_start);
   const SimTime rmarker =
-      preamble_start + local_duration(config_.phy.shr_duration_s());
+      preamble_start + local_duration(Seconds(config_.phy.shr_duration_s()));
   return clock_.device_time(rmarker);
 }
 
@@ -88,7 +87,7 @@ bool Node::schedule_delayed_tx(dw::MacFrame frame,
   const SimTime rmarker_global =
       clock_.global_time_of(quantized_rmarker, sim_.now());
   const SimTime preamble_start =
-      rmarker_global - local_duration(config_.phy.shr_duration_s());
+      rmarker_global - local_duration(Seconds(config_.phy.shr_duration_s()));
   // The target (minus the preamble lead-in) is already in the past: the
   // hardware raises HPDWARN and the firmware aborts the transmission — a
   // runtime condition, not a precondition violation.
@@ -144,7 +143,7 @@ void Node::finalize_batch() {
   std::vector<dw::CirArrival> arrivals;
   for (const AirFrame& af : pending_) {
     const double tx_ref_s =
-        af.preamble_start_arrival.seconds() - af.first_detectable_delay_s;
+        af.preamble_start_arrival.seconds() - af.first_detectable_delay.value();
     for (const channel::Tap& tap : af.taps) {
       dw::CirArrival a;
       a.time_into_window_s = tx_ref_s + tap.delay_s - window_start_s;
@@ -163,7 +162,7 @@ void Node::finalize_batch() {
   result.rx_timestamp =
       dw::noisy_rx_timestamp(config_.timestamping, sync->tc_pgdelay,
                              clock_.device_time(sync->rmarker_arrival), rng_)
-          .plus_seconds(config_.antenna_delay_s / 2.0);
+          .plus_seconds(config_.antenna_delay / 2.0);
   result.carrier_offset_ppm = sync->tx_drift_ppm - config_.drift_ppm +
                               rng_.normal(0.0, config_.cfo_noise_ppm);
   result.frames_in_batch = static_cast<int>(pending_.size());

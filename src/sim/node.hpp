@@ -52,13 +52,13 @@ struct NodeConfig {
   /// Model the hardware delayed-TX truncation (low 9 bits ignored). Turning
   /// this off is an ablation: ideal sub-tick transmit timing.
   bool delayed_tx_truncation = true;
-  /// Physical antenna delay [s]: the signal leaves/reaches the antenna this
+  /// Physical antenna delay: the signal leaves/reaches the antenna this
   /// long after/before the digital timestamp reference. Uncalibrated
   /// devices carry ~515 ns (DW1000 default); ranging code must subtract the
   /// calibrated value (APS014) or every TWR distance is biased by
   /// c * (sum of delays) / 2. Zero by default so paper-reproduction
   /// experiments measure the algorithms, not the commissioning procedure.
-  double antenna_delay_s = 0.0;
+  Seconds antenna_delay{};
 };
 
 /// Outcome of one receive operation (one frame, or one concurrent batch).
@@ -150,7 +150,7 @@ class Node {
 
  private:
   /// Convert a duration measured on this node's clock to global time.
-  SimTime local_duration(double local_s) const;
+  SimTime local_duration(Seconds local) const;
 
   void transmit_at(const dw::MacFrame& frame, SimTime preamble_start_global);
   void finalize_batch();

@@ -184,8 +184,8 @@ TEST(RpmPlanTest, PlanWorksEndToEnd) {
   int accurate = 0;
   for (const auto& est : out.estimates) {
     if (est.responder_id < 0 || est.responder_id > 5) continue;
-    if (std::abs(est.distance_m - scenario.true_distance(est.responder_id)) <
-        1.0)
+    if (std::abs(est.distance_m -
+                 scenario.true_distance(est.responder_id).value()) < 1.0)
       ++accurate;
   }
   EXPECT_GE(accurate, 5);

@@ -17,14 +17,14 @@ TEST(DwTimestampTest, MasksTo40Bits) {
 
 TEST(DwTimestampTest, SecondsConversion) {
   const DwTimestamp t(63'897'600'000ULL);  // exactly 1 s of ticks
-  EXPECT_NEAR(t.seconds(), 1.0, 1e-12);
+  EXPECT_NEAR(t.seconds().value(), 1.0, 1e-12);
 }
 
 TEST(DwTimestampTest, DiffSimple) {
   const DwTimestamp a(1000), b(400);
-  EXPECT_EQ(a.diff_ticks(b), 600);
-  EXPECT_EQ(b.diff_ticks(a), -600);
-  EXPECT_EQ(a.diff_ticks(a), 0);
+  EXPECT_EQ(a.diff_ticks(b).count(), 600);
+  EXPECT_EQ(b.diff_ticks(a).count(), -600);
+  EXPECT_EQ(a.diff_ticks(a).count(), 0);
 }
 
 TEST(DwTimestampTest, DiffAcrossWrap) {
@@ -34,28 +34,28 @@ TEST(DwTimestampTest, DiffAcrossWrap) {
   const std::uint64_t wrap = std::uint64_t{1} << 40;
   const DwTimestamp b(wrap - 100);
   const DwTimestamp a(50);
-  EXPECT_EQ(a.diff_ticks(b), 150);
-  EXPECT_EQ(b.diff_ticks(a), -150);
+  EXPECT_EQ(a.diff_ticks(b).count(), 150);
+  EXPECT_EQ(b.diff_ticks(a).count(), -150);
 }
 
 TEST(DwTimestampTest, DiffSecondsAcrossWrap) {
   const std::uint64_t wrap = std::uint64_t{1} << 40;
   const DwTimestamp before(wrap - 1'000'000);
-  const DwTimestamp after = before.plus_seconds(290e-6);
-  EXPECT_NEAR(after.diff_seconds(before), 290e-6, 1e-9);
+  const DwTimestamp after = before.plus_seconds(Seconds(290e-6));
+  EXPECT_NEAR(after.diff_seconds(before).value(), 290e-6, 1e-9);
 }
 
 TEST(DwTimestampTest, PlusTicksWraps) {
   const std::uint64_t wrap = std::uint64_t{1} << 40;
   const DwTimestamp t(wrap - 10);
-  EXPECT_EQ(t.plus_ticks(20).ticks(), 10u);
-  EXPECT_EQ(DwTimestamp(5).plus_ticks(-10).ticks(), wrap - 5);
+  EXPECT_EQ(t.plus_ticks(DwTicks(20)).ticks(), 10u);
+  EXPECT_EQ(DwTimestamp(5).plus_ticks(DwTicks(-10)).ticks(), wrap - 5);
 }
 
 TEST(DwTimestampTest, PlusSecondsRoundTrips) {
   const DwTimestamp t(123456789);
-  const DwTimestamp u = t.plus_seconds(1e-3);
-  EXPECT_NEAR(u.diff_seconds(t), 1e-3, 1e-10);
+  const DwTimestamp u = t.plus_seconds(Seconds(1e-3));
+  EXPECT_NEAR(u.diff_seconds(t).value(), 1e-3, 1e-10);
 }
 
 TEST(DelayedTxTest, TruncatesLow9Bits) {
@@ -74,35 +74,36 @@ TEST(DelayedTxTest, AlreadyAlignedUnchanged) {
 TEST(DelayedTxTest, GranularityIsAbout8ns) {
   // Paper Sect. III: "limiting the transmission timestamp resolution to
   // approximately 8 ns".
-  EXPECT_NEAR(delayed_tx_granularity_s(), 8.013e-9, 0.01e-9);
+  EXPECT_NEAR(delayed_tx_granularity().value(), 8.013e-9, 0.01e-9);
 }
 
 TEST(ClockModelTest, ZeroOffsetZeroDrift) {
   const ClockModel clock;
   const DwTimestamp t = clock.device_time(SimTime::from_seconds(1.0));
-  EXPECT_NEAR(t.seconds(), 1.0, 1e-9);
+  EXPECT_NEAR(t.seconds().value(), 1.0, 1e-9);
 }
 
 TEST(ClockModelTest, EpochOffsetShiftsCounter) {
   const ClockModel clock(SimTime::from_seconds(2.0), 0.0);
   const DwTimestamp t = clock.device_time(SimTime::from_seconds(1.0));
-  EXPECT_NEAR(t.seconds(), 3.0, 1e-9);
+  EXPECT_NEAR(t.seconds().value(), 3.0, 1e-9);
 }
 
 TEST(ClockModelTest, DriftScalesElapsedTime) {
   const ClockModel fast(SimTime(), +10.0);  // +10 ppm
   const DwTimestamp a = fast.device_time(SimTime::from_seconds(0.0));
   const DwTimestamp b = fast.device_time(SimTime::from_seconds(1.0));
-  EXPECT_NEAR(b.diff_seconds(a), 1.0 + 10e-6, 1e-9);
+  EXPECT_NEAR(b.diff_seconds(a).value(), 1.0 + 10e-6, 1e-9);
 }
 
 TEST(ClockModelTest, GlobalTimeOfInvertsDeviceTime) {
   const ClockModel clock(SimTime::from_seconds(0.5), -3.0);
   const SimTime now = SimTime::from_seconds(10.0);
-  const DwTimestamp target = clock.device_time(now).plus_seconds(290e-6);
+  const DwTimestamp target = clock.device_time(now).plus_seconds(Seconds(290e-6));
   const SimTime when = clock.global_time_of(target, now);
   // At `when`, the device counter reads `target` (within a tick).
-  EXPECT_NEAR(clock.device_time(when).diff_seconds(target), 0.0, 2 * k::dw_tick_s);
+  EXPECT_NEAR(clock.device_time(when).diff_seconds(target).value(), 0.0,
+              2 * k::dw_tick_s);
   EXPECT_NEAR((when - now).seconds(), 290e-6, 1e-9);
 }
 
@@ -111,7 +112,7 @@ TEST(ClockModelTest, GlobalTimeOfAcrossWrap) {
   // Pick a global time whose device counter sits just before the wrap.
   const double wrap_s = (std::uint64_t{1} << 40) * k::dw_tick_s;
   const SimTime now = SimTime::from_seconds(wrap_s - 100e-6);
-  const DwTimestamp target = clock.device_time(now).plus_seconds(290e-6);
+  const DwTimestamp target = clock.device_time(now).plus_seconds(Seconds(290e-6));
   const SimTime when = clock.global_time_of(target, now);
   EXPECT_NEAR((when - now).seconds(), 290e-6, 1e-9);
 }
@@ -122,7 +123,7 @@ TEST(ClockModelTest, TwoClocksDisagreeConsistently) {
   const SimTime t = SimTime::from_seconds(3.0);
   // Device times differ, but each inverts its own mapping.
   EXPECT_NE(a.device_time(t).ticks(), b.device_time(t).ticks());
-  const DwTimestamp target_a = a.device_time(t).plus_seconds(1e-3);
+  const DwTimestamp target_a = a.device_time(t).plus_seconds(Seconds(1e-3));
   EXPECT_NEAR((a.global_time_of(target_a, t) - t).seconds(),
               1e-3 / (1.0 + 5e-6), 1e-10);
 }

@@ -183,7 +183,7 @@ TEST(FaultSessionTest, RetryBackoffScheduleIsDeterministic) {
   cfg.fault.dropout_rounds_min = 50;
   cfg.fault.dropout_rounds_max = 50;
   cfg.resilience.max_retries = 3;
-  cfg.resilience.retry_backoff_s = 400e-6;
+  cfg.resilience.retry_backoff = Seconds(400e-6);
   cfg.resilience.backoff_factor = 2.0;
 
   // Reference: identical scenario with no retries = one attempt's duration.
@@ -289,7 +289,7 @@ TEST(FaultSessionTest, ClockGlitchesPerturbButDoNotAbort) {
     const RoundOutcome out = scenario.run_round();
     if (!out.payload_decoded) continue;
     ++decoded;
-    const double truth = scenario.true_distance(out.sync_responder_id);
+    const double truth = scenario.true_distance(out.sync_responder_id).value();
     if (std::abs(out.d_twr_m - truth) < 0.5) ++plausible;
   }
   const auto& fc = scenario.fault_injector()->counters();

@@ -116,7 +116,7 @@ TEST(MediumTest, ObstructedDirectPathLocksToReflection) {
   bench.sim.after(SimTime::from_micros(5.0), [&] { tx_ts = tx.transmit_now(f); });
   bench.sim.run();
   ASSERT_TRUE(got.has_value());
-  const double tof = got->rx_timestamp.diff_seconds(tx_ts);
+  const double tof = got->rx_timestamp.diff_seconds(tx_ts).value();
   // Direct path is 10 m; the shortest reflection is noticeably longer.
   EXPECT_GT(tof, 10.5 / k::c_air);
 }

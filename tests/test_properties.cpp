@@ -214,9 +214,9 @@ TEST_P(ClockSweep, GlobalTimeOfInverts) {
   const SimTime now = SimTime::from_seconds(3.25);
   for (const double ahead_s : {1e-6, 290e-6, 0.01, 1.0}) {
     const dw::DwTimestamp target =
-        clock.device_time(now).plus_seconds(ahead_s);
+        clock.device_time(now).plus_seconds(Seconds(ahead_s));
     const SimTime when = clock.global_time_of(target, now);
-    EXPECT_NEAR(clock.device_time(when).diff_seconds(target), 0.0,
+    EXPECT_NEAR(clock.device_time(when).diff_seconds(target).value(), 0.0,
                 2.0 * k::dw_tick_s)
         << "epoch " << epoch_s << " ppm " << ppm << " ahead " << ahead_s;
   }

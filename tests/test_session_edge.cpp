@@ -150,16 +150,17 @@ TEST(SessionEdgeTest, UncalibratedAntennaDelayBiasesAndIsCorrectable) {
   // ~c * 100 ns ~= 30 m; the APS014-style commissioning recovers the delay
   // from a known-distance link and the correction restores accuracy.
   ScenarioConfig cfg = base_scenario(51);
-  cfg.antenna_delay_s = 100e-9;
+  cfg.antenna_delay = Seconds(100e-9);
   cfg.responders = {{0, {7.0, 5.0}}};  // true distance 5 m
   ConcurrentRangingScenario scenario(cfg);
   const auto out = scenario.run_round();
   ASSERT_TRUE(out.payload_decoded);
   EXPECT_NEAR(out.d_twr_m, 5.0 + 299'702'547.0 * 100e-9, 0.2);
   // Commission against the known 5 m link, then correct.
-  const double delay = estimate_antenna_delay_s(out.d_twr_m, 5.0);
-  EXPECT_NEAR(delay, 100e-9, 1e-9);
-  EXPECT_NEAR(correct_antenna_delay_m(out.d_twr_m, delay, delay), 5.0, 0.05);
+  const Seconds delay = estimate_antenna_delay(Meters(out.d_twr_m), Meters(5.0));
+  EXPECT_NEAR(delay.value(), 100e-9, 1e-9);
+  EXPECT_NEAR(correct_antenna_delay(Meters(out.d_twr_m), delay, delay).value(), 5.0,
+              0.05);
 }
 
 TEST(SessionEdgeTest, SameSeedSameOutcomeAcrossConfigCopies) {
@@ -178,7 +179,7 @@ TEST(SessionEdgeTest, MovingInitiatorBetweenRounds) {
   ASSERT_TRUE(first.payload_decoded);
   EXPECT_NEAR(first.d_twr_m, 8.0, 0.2);
   scenario.set_initiator_position({6.0, 5.0});
-  EXPECT_DOUBLE_EQ(scenario.true_distance(0), 4.0);
+  EXPECT_DOUBLE_EQ(scenario.true_distance(0).value(), 4.0);
   const auto second = scenario.run_round();
   ASSERT_TRUE(second.payload_decoded);
   EXPECT_NEAR(second.d_twr_m, 4.0, 0.2);

@@ -80,7 +80,8 @@ TEST(RpmSessionTest, NineRespondersDecodeIdentities) {
           cfg.responders.begin(), cfg.responders.end(),
           [&](const ResponderSpec& s) { return s.id == est.responder_id; });
       if (spec == cfg.responders.end()) continue;
-      if (std::abs(est.distance_m - scenario.true_distance(spec->id)) < 1.0)
+      if (std::abs(est.distance_m - scenario.true_distance(spec->id).value()) <
+          1.0)
         ++total_correct;
     }
   }
@@ -113,7 +114,7 @@ TEST(RpmSessionTest, SlotAwareSelectionImprovesCoverage) {
       for (const auto& est : out.estimates)
         if (est.responder_id >= 0 &&
             std::abs(est.distance_m -
-                     scenario.true_distance(est.responder_id % 9)) < 5.0)
+                     scenario.true_distance(est.responder_id % 9).value()) < 5.0)
           ids.insert(est.responder_id);
       covered += static_cast<int>(ids.size());
     }

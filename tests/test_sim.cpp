@@ -146,7 +146,7 @@ TEST(NodeTest, RxTimestampReflectsPropagation) {
   bench.sim.run();
   ASSERT_TRUE(got.has_value());
   // Same-epoch clocks: RX - TX = time of flight (within jitter).
-  const double tof = got->rx_timestamp.diff_seconds(tx_time);
+  const double tof = got->rx_timestamp.diff_seconds(tx_time).value();
   EXPECT_NEAR(tof, 15.0 / k::c_air, 1e-9);
 }
 
@@ -184,7 +184,7 @@ TEST(NodeTest, DelayedTxHitsRequestedDeviceTime) {
   f.type = dw::FrameType::Resp;
   bench.sim.after(SimTime::from_micros(10.0), [&] {
     const dw::DwTimestamp target =
-        bench.b->device_now().plus_seconds(400e-6);
+        bench.b->device_now().plus_seconds(Seconds(400e-6));
     const dw::DwTimestamp actual = bench.b->delayed_tx_time(target);
     f.tx_timestamp = actual;
     ASSERT_TRUE(bench.b->schedule_delayed_tx(f, actual));

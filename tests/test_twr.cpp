@@ -18,21 +18,22 @@ TwrTimestamps make_timestamps(double tof_s, double reply_s,
   // Responder counters are an arbitrary epoch apart; only differences matter.
   const dw::DwTimestamp resp_epoch(42'424'242);
   ts.t_rx_resp = resp_epoch;
-  ts.t_tx_resp = resp_epoch.plus_seconds(reply_s * (1.0 + responder_ppm * 1e-6));
-  ts.t_rx_init = ts.t_tx_init.plus_seconds(2.0 * tof_s + reply_s);
+  ts.t_tx_resp =
+      resp_epoch.plus_seconds(Seconds(reply_s * (1.0 + responder_ppm * 1e-6)));
+  ts.t_rx_init = ts.t_tx_init.plus_seconds(Seconds(2.0 * tof_s + reply_s));
   return ts;
 }
 
 TEST(TwrTest, PerfectClocksExactDistance) {
   const double tof = 5.0 / k::c_air;
   const TwrTimestamps ts = make_timestamps(tof, 290e-6);
-  EXPECT_NEAR(ss_twr_distance(ts), 5.0, 0.005);
-  EXPECT_NEAR(ss_twr_tof_s(ts), tof, 1e-11);
+  EXPECT_NEAR(ss_twr_distance(ts).value(), 5.0, 0.005);
+  EXPECT_NEAR(ss_twr_tof(ts).value(), tof, 1e-11);
 }
 
 TEST(TwrTest, ZeroDistanceIsZero) {
   const TwrTimestamps ts = make_timestamps(0.0, 290e-6);
-  EXPECT_NEAR(ss_twr_distance(ts), 0.0, 0.005);
+  EXPECT_NEAR(ss_twr_distance(ts).value(), 0.0, 0.005);
 }
 
 TEST(TwrTest, DriftWithoutCorrectionBiasesDistance) {
@@ -41,7 +42,7 @@ TEST(TwrTest, DriftWithoutCorrectionBiasesDistance) {
   // mandatory for SS-TWR).
   const double tof = 3.0 / k::c_air;
   const TwrTimestamps ts = make_timestamps(tof, 290e-6, +5.0);
-  const double uncorrected = ss_twr_distance(ts, 0.0);
+  const double uncorrected = ss_twr_distance(ts, 0.0).value();
   EXPECT_LT(uncorrected, 3.0 - 0.15);
   EXPECT_NEAR(3.0 - uncorrected, k::c_air * 5e-6 * 290e-6 / 2.0, 0.02);
 }
@@ -49,13 +50,13 @@ TEST(TwrTest, DriftWithoutCorrectionBiasesDistance) {
 TEST(TwrTest, CfoCorrectionRemovesDriftBias) {
   const double tof = 3.0 / k::c_air;
   const TwrTimestamps ts = make_timestamps(tof, 290e-6, +5.0);
-  EXPECT_NEAR(ss_twr_distance(ts, +5.0), 3.0, 0.01);
+  EXPECT_NEAR(ss_twr_distance(ts, +5.0).value(), 3.0, 0.01);
 }
 
 TEST(TwrTest, NegativeDriftCorrectedSymmetrically) {
   const double tof = 10.0 / k::c_air;
   const TwrTimestamps ts = make_timestamps(tof, 400e-6, -8.0);
-  EXPECT_NEAR(ss_twr_distance(ts, -8.0), 10.0, 0.01);
+  EXPECT_NEAR(ss_twr_distance(ts, -8.0).value(), 10.0, 0.01);
 }
 
 TEST(TwrTest, WorksAcrossCounterWrap) {
@@ -65,22 +66,28 @@ TEST(TwrTest, WorksAcrossCounterWrap) {
   TwrTimestamps ts;
   ts.t_tx_init = dw::DwTimestamp(wrap - 1000);
   ts.t_rx_resp = dw::DwTimestamp(wrap - 500);
-  ts.t_tx_resp = ts.t_rx_resp.plus_seconds(290e-6);
-  ts.t_rx_init = ts.t_tx_init.plus_seconds(2.0 * tof + 290e-6);
-  EXPECT_NEAR(ss_twr_distance(ts), 4.0, 0.01);
+  ts.t_tx_resp = ts.t_rx_resp.plus_seconds(Seconds(290e-6));
+  ts.t_rx_init = ts.t_tx_init.plus_seconds(Seconds(2.0 * tof + 290e-6));
+  EXPECT_NEAR(ss_twr_distance(ts).value(), 4.0, 0.01);
 }
 
 TEST(AntennaDelayTest, EstimateFromKnownDistance) {
   // d_meas = d_true + c * delay for symmetric devices.
   const double delay = 100e-9;
   const double measured = 5.0 + k::c_air * delay;
-  EXPECT_NEAR(estimate_antenna_delay_s(measured, 5.0), delay, 1e-12);
+  EXPECT_NEAR(estimate_antenna_delay(Meters(measured), Meters(5.0)).value(),
+              delay, 1e-12);
 }
 
 TEST(AntennaDelayTest, CorrectionRemovesBias) {
   const double measured = 5.0 + k::c_air * (80e-9 + 120e-9) / 2.0;
-  EXPECT_NEAR(correct_antenna_delay_m(measured, 80e-9, 120e-9), 5.0, 1e-9);
-  EXPECT_THROW(correct_antenna_delay_m(5.0, -1e-9, 0.0), PreconditionError);
+  EXPECT_NEAR(
+      correct_antenna_delay(Meters(measured), Seconds(80e-9), Seconds(120e-9))
+          .value(),
+      5.0, 1e-9);
+  EXPECT_THROW(
+      correct_antenna_delay(Meters(5.0), Seconds(-1e-9), Seconds(0.0)),
+      PreconditionError);
 }
 
 

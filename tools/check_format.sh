@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Check-only clang-format gate for CI.
+#
+# Formats are enforced incrementally: only C++ files changed relative to the
+# merge base (or an explicit file list) are checked, so adopting the gate
+# does not require a mass reformat of the existing tree.
+#
+# Usage:
+#   tools/check_format.sh [base-ref]        # diff against merge-base (default origin/main)
+#   tools/check_format.sh --files a.cpp ... # explicit file list
+#
+# Exit 0 when every checked file is clean (or none to check), 1 otherwise.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not installed; skipping" >&2
+  exit 0
+fi
+
+files=()
+if [[ "${1:-}" == "--files" ]]; then
+  shift
+  files=("$@")
+else
+  base_ref="${1:-origin/main}"
+  if git rev-parse --verify --quiet "$base_ref" >/dev/null; then
+    merge_base="$(git merge-base HEAD "$base_ref" 2>/dev/null || true)"
+  else
+    merge_base=""
+  fi
+  if [[ -z "$merge_base" ]]; then
+    # Shallow clone or detached CI checkout: fall back to the last commit.
+    merge_base="HEAD~1"
+  fi
+  while IFS= read -r f; do
+    files+=("$f")
+  done < <(git diff --name-only --diff-filter=ACMR "$merge_base"...HEAD -- \
+             '*.cpp' '*.hpp' '*.h' '*.cc' 2>/dev/null ||
+           git diff --name-only --diff-filter=ACMR "$merge_base" HEAD -- \
+             '*.cpp' '*.hpp' '*.h' '*.cc')
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_format: no changed C++ files to check"
+  exit 0
+fi
+
+status=0
+for f in "${files[@]}"; do
+  [[ -f "$f" ]] || continue
+  if ! clang-format --dry-run --Werror "$f" 2>/dev/null; then
+    echo "check_format: $f needs formatting (clang-format -i $f)" >&2
+    status=1
+  fi
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "check_format: ${#files[@]} file(s) clean"
+fi
+exit $status

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/lint/uwb_lint.py.
+
+Each rule gets at least one violating and one clean fixture, written into a
+temporary repo-shaped tree so the path-scoping (allowlists, sim-layer
+prefixes) is exercised exactly as in the real repo.  Run directly or via
+`python3 -m unittest discover tools`.
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "lint"))
+
+import uwb_lint  # noqa: E402
+
+
+class LintFixtureTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, relpath, content):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write(content)
+        return relpath
+
+    def lint(self, relpath, rule):
+        return uwb_lint.lint_file(self.root, relpath, [rule])
+
+    def assert_findings(self, relpath, rule, lines):
+        findings = self.lint(relpath, rule)
+        self.assertEqual([f.line for f in findings], lines,
+                         msg=f"{rule} on {relpath}: {findings}")
+        for f in findings:
+            self.assertEqual(f.rule, rule)
+
+    # -- no-raw-random ----------------------------------------------------
+
+    def test_raw_random_violation(self):
+        p = self.write("src/sim/bad_random.cpp", (
+            "#include <random>\n"
+            "int entropy() {\n"
+            "  std::random_device rd;\n"
+            "  return rd() + rand();\n"
+            "}\n"))
+        self.assert_findings(p, "no-raw-random", [3, 4])
+
+    def test_raw_random_clean_and_allowlisted(self):
+        clean = self.write("src/sim/good_random.cpp", (
+            "#include \"common/random.hpp\"\n"
+            "double draw(uwb::Rng& rng) { return rng.normal(0.0, 1.0); }\n"))
+        self.assert_findings(clean, "no-raw-random", [])
+        # The seed plumbing itself may touch entropy sources.
+        allowed = self.write("src/runner/seed_source.cpp", (
+            "unsigned fallback_seed() { std::random_device rd; return rd(); }\n"))
+        self.assert_findings(allowed, "no-raw-random", [])
+
+    def test_raw_random_in_comment_or_string_ignored(self):
+        p = self.write("src/sim/docs.cpp", (
+            "// Never call rand() or std::random_device here.\n"
+            "const char* kMsg = \"srand(time(0)) is banned\";\n"))
+        self.assert_findings(p, "no-raw-random", [])
+
+    def test_time_seed_violation(self):
+        p = self.write("src/ranging/seeded.cpp",
+                       "auto s = time(NULL);\n")
+        self.assert_findings(p, "no-raw-random", [1])
+
+    # -- no-wall-clock-in-sim ---------------------------------------------
+
+    def test_wall_clock_violation(self):
+        p = self.write("src/sim/bad_clock.cpp", (
+            "#include <chrono>\n"
+            "auto t = std::chrono::steady_clock::now();\n"))
+        self.assert_findings(p, "no-wall-clock-in-sim", [2])
+
+    def test_wall_clock_outside_sim_scope_allowed(self):
+        # The obs layer measures real latency; host clocks are its job.
+        p = self.write("src/obs/spans.cpp",
+                       "auto t = std::chrono::steady_clock::now();\n")
+        self.assert_findings(p, "no-wall-clock-in-sim", [])
+
+    def test_sim_time_clean(self):
+        p = self.write("src/sim/good_clock.cpp",
+                       "uwb::SimTime now = sim.now();\n")
+        self.assert_findings(p, "no-wall-clock-in-sim", [])
+
+    # -- unordered-iteration ----------------------------------------------
+
+    def test_unordered_iteration_violation(self):
+        p = self.write("src/ranging/bad_iter.cpp", (
+            "#include <unordered_map>\n"
+            "std::unordered_map<int, double> cache;\n"
+            "double total() {\n"
+            "  double sum = 0.0;\n"
+            "  for (const auto& kv : cache) sum += kv.second;\n"
+            "  return sum;\n"
+            "}\n"))
+        self.assert_findings(p, "unordered-iteration", [5])
+
+    def test_unordered_lookup_clean(self):
+        p = self.write("src/ranging/good_iter.cpp", (
+            "#include <map>\n"
+            "#include <unordered_map>\n"
+            "std::unordered_map<int, double> cache;\n"
+            "std::map<int, double> ordered;\n"
+            "double get(int k) { return cache.at(k); }\n"
+            "double total() {\n"
+            "  double sum = 0.0;\n"
+            "  for (const auto& kv : ordered) sum += kv.second;\n"
+            "  return sum;\n"
+            "}\n"))
+        self.assert_findings(p, "unordered-iteration", [])
+
+    # -- nodiscard-result -------------------------------------------------
+
+    def test_nodiscard_violation(self):
+        p = self.write("src/ranging/bad_api.hpp", (
+            "#include \"common/result.hpp\"\n"
+            "namespace uwb {\n"
+            "Status connect(int node);\n"
+            "Result<double> measure(int node);\n"
+            "}\n"))
+        self.assert_findings(p, "nodiscard-result", [3, 4])
+
+    def test_nodiscard_clean(self):
+        p = self.write("src/ranging/good_api.hpp", (
+            "#include \"common/result.hpp\"\n"
+            "namespace uwb {\n"
+            "[[nodiscard]] Status connect(int node);\n"
+            "[[nodiscard]] static Result<double> measure(int node);\n"
+            "[[nodiscard]] Result<std::vector<int>> peers();\n"
+            "}\n"))
+        self.assert_findings(p, "nodiscard-result", [])
+
+    def test_nodiscard_on_previous_line(self):
+        p = self.write("src/ranging/wrapped_api.hpp", (
+            "[[nodiscard]]\n"
+            "Status connect(int node);\n"))
+        self.assert_findings(p, "nodiscard-result", [])
+
+    def test_nodiscard_ignores_variables_and_cpp(self):
+        # A Status variable is not a declaration; .cpp definitions need not
+        # repeat the attribute.
+        var = self.write("src/ranging/vars.hpp",
+                         "Status last_status;\n")
+        self.assert_findings(var, "nodiscard-result", [])
+        impl = self.write("src/ranging/impl.cpp",
+                          "Status connect(int node) { return {}; }\n")
+        self.assert_findings(impl, "nodiscard-result", [])
+
+    # -- magic-tick-constant ----------------------------------------------
+
+    def test_magic_constant_violation(self):
+        p = self.write("src/dw1000/bad_ticks.cpp", (
+            "double to_s(long long t) { return t * 15.65e-12; }\n"
+            "double tap_s(int i) { return i * 1.0016e-9; }\n"))
+        self.assert_findings(p, "magic-tick-constant", [1, 2])
+
+    def test_magic_constant_allowlisted_and_clean(self):
+        allowed = self.write("src/common/constants.hpp",
+                             "inline constexpr double dw_tick_s = 15.65e-12;\n")
+        self.assert_findings(allowed, "magic-tick-constant", [])
+        clean = self.write("src/dw1000/good_ticks.cpp",
+                           "double to_s(long long t) { return t * k::dw_tick_s; }\n")
+        self.assert_findings(clean, "magic-tick-constant", [])
+
+    def test_magic_constant_in_comment_ignored(self):
+        p = self.write("src/dw1000/doc_ticks.cpp",
+                       "// One tick is 15.65e-12 s.\nint x = 0;\n")
+        self.assert_findings(p, "magic-tick-constant", [])
+
+    # -- suppression ------------------------------------------------------
+
+    def test_inline_suppression(self):
+        p = self.write("src/sim/suppressed.cpp", (
+            "auto t = std::chrono::steady_clock::now();"
+            "  // uwb-lint: allow(no-wall-clock-in-sim)\n"))
+        self.assert_findings(p, "no-wall-clock-in-sim", [])
+
+    def test_preceding_line_suppression(self):
+        p = self.write("src/sim/suppressed2.cpp", (
+            "// uwb-lint: allow(no-wall-clock-in-sim)\n"
+            "auto t = std::chrono::steady_clock::now();\n"))
+        self.assert_findings(p, "no-wall-clock-in-sim", [])
+
+    def test_suppression_is_rule_specific(self):
+        p = self.write("src/sim/suppressed3.cpp", (
+            "// uwb-lint: allow(no-raw-random)\n"
+            "auto t = std::chrono::steady_clock::now();\n"))
+        self.assert_findings(p, "no-wall-clock-in-sim", [2])
+
+    # -- driver behaviour -------------------------------------------------
+
+    def test_main_exit_codes(self):
+        self.write("src/sim/bad.cpp", "int x = rand();\n")
+        self.assertEqual(uwb_lint.main(["--root", self.root]), 1)
+        os.remove(os.path.join(self.root, "src/sim/bad.cpp"))
+        self.write("src/sim/good.cpp", "int x = 0;\n")
+        self.assertEqual(uwb_lint.main(["--root", self.root]), 0)
+
+    def test_unknown_rule_is_usage_error(self):
+        self.assertEqual(
+            uwb_lint.main(["--root", self.root, "--rule", "no-such-rule"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
