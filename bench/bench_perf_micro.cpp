@@ -18,6 +18,7 @@
 #include "ranging/search_subtract.hpp"
 #include "ranging/threshold_detector.hpp"
 #include "runner/thread_pool.hpp"
+#include "simd/simd.hpp"
 #include "bench_util.hpp"
 
 namespace {
@@ -222,6 +223,169 @@ void BM_SearchSubtract_ExactRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_SearchSubtract_ExactRecompute);
 
+// --- SIMD dispatch-level benches (DESIGN.md §12) ------------------------
+//
+// Each runs one detect-path kernel at every dispatch level (benchmark arg
+// 0 = scalar, 1 = sse2, 2 = avx2); levels this machine cannot run are
+// skipped. The scalar leg is the denominator of the vectorization speedup
+// CI tracks; the level is restored after each bench so the rest of the
+// suite runs at the startup dispatch.
+
+struct BenchLevelGuard {
+  simd::Level saved = simd::active_level();
+  ~BenchLevelGuard() { simd::set_active_level(saved); }
+};
+
+bool set_bench_level(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  if (!simd::set_active_level(level)) {
+    state.SkipWithError("dispatch level unsupported on this machine");
+    return false;
+  }
+  state.SetLabel(simd::level_name(level));
+  return true;
+}
+
+void BM_Simd_CmulConj_8192(benchmark::State& state) {
+  BenchLevelGuard guard;
+  if (!set_bench_level(state)) return;
+  const CVec a = random_signal(8192, 21);
+  const CVec b = random_signal(8192, 22);
+  CVec out(8192);
+  for (auto _ : state) {
+    simd::cmul_conj(reinterpret_cast<const double*>(a.data()),
+                    reinterpret_cast<const double*>(b.data()),
+                    reinterpret_cast<double*>(out.data()), out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Simd_CmulConj_8192)->DenseRange(0, 2);
+
+void BM_Simd_FftPow2_8192(benchmark::State& state) {
+  // The transform length of the fast detect path for a 1016-tap CIR
+  // upsampled by 8 (next_pow2(1016) * 8).
+  BenchLevelGuard guard;
+  if (!set_bench_level(state)) return;
+  const CVec x = random_signal(8192, 23);
+  CVec y(8192);
+  for (auto _ : state) {
+    std::copy(x.begin(), x.end(), y.begin());
+    dsp::fft_pow2_inplace(y, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Simd_FftPow2_8192)->DenseRange(0, 2);
+
+void BM_Simd_FftBluestein_1016(benchmark::State& state) {
+  BenchLevelGuard guard;
+  if (!set_bench_level(state)) return;
+  const CVec x = random_signal(k::cir_len_prf64, 24);
+  for (auto _ : state) {
+    CVec y = dsp::fft(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Simd_FftBluestein_1016)->DenseRange(0, 2);
+
+void BM_Simd_BankCorrelate(benchmark::State& state) {
+  // The bank_correlate span body: one pointwise multiply + inverse
+  // transform per template of a three-shape bank against a shared
+  // residual spectrum at the real fast-path sizes.
+  BenchLevelGuard guard;
+  if (!set_bench_level(state)) return;
+  const std::size_t kM = 8192;
+  std::vector<dsp::MatchedFilter> bank;
+  for (const std::uint8_t reg : {0x93, 0xC8, 0xE6})
+    bank.emplace_back(dw::sample_pulse_template(reg, k::cir_ts_s / 8.0));
+  const std::size_t kP =
+      dsp::next_pow2(kM + bank[0].template_length() - 1);
+  CVec spec = random_signal(kP, 25);
+  dsp::plan_for(kP).transform_pow2(spec.data(), false);
+  CVec y;
+  for (auto _ : state) {
+    for (const auto& mf : bank) {
+      mf.apply_spectrum(spec.data(), kP, kM, y);
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+}
+BENCHMARK(BM_Simd_BankCorrelate)->DenseRange(0, 2);
+
+void BM_Simd_SubtractUpdate(benchmark::State& state) {
+  // The subtract_update span body: the windowed correlation that patches
+  // every template's output after one subtraction.
+  BenchLevelGuard guard;
+  if (!set_bench_level(state)) return;
+  dsp::MatchedFilter mf(dw::sample_pulse_template(0x93, k::cir_ts_s / 8.0));
+  const CVec& s = mf.unit_template();
+  const auto np = static_cast<std::ptrdiff_t>(s.size());
+  CVec y = random_signal(8192, 26);
+  const CVec delta = random_signal(static_cast<std::size_t>(np) + 1, 27);
+  const std::ptrdiff_t w_lo = 4000;
+  const std::ptrdiff_t w_hi = w_lo + np + 1;
+  const std::ptrdiff_t j_lo = std::max<std::ptrdiff_t>(0, w_lo - np + 1);
+  const std::ptrdiff_t j_hi =
+      std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(y.size()), w_hi);
+  for (auto _ : state) {
+    simd::corr_window_update(reinterpret_cast<double*>(y.data()),
+                             reinterpret_cast<const double*>(delta.data()),
+                             reinterpret_cast<const double*>(s.data()), j_lo,
+                             j_hi, w_lo, w_hi, np);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Simd_SubtractUpdate)->DenseRange(0, 2);
+
+// --- batched detection throughput ---------------------------------------
+
+void BM_SearchSubtract_DetectBatch32(benchmark::State& state) {
+  // 32 CIRs through one staged batch; cirs_per_sec is the headline
+  // throughput metric CI requires in the bench JSON.
+  std::vector<CVec> cirs;
+  double ts_s = 0.0;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const auto cir = test_cir(3, 40 + i);
+    cirs.push_back(cir.taps);
+    ts_s = cir.ts_s;
+  }
+  ranging::DetectorConfig cfg;
+  cfg.shape_registers = {0x93, 0xC8, 0xE6};
+  ranging::SearchSubtractDetector det{cfg};
+  for (auto _ : state) {
+    auto out = det.detect_batch(cirs, ts_s, 3);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["cirs_per_sec"] = benchmark::Counter(
+      static_cast<double>(cirs.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SearchSubtract_DetectBatch32);
+
+void BM_SearchSubtract_DetectLoop32(benchmark::State& state) {
+  // The same 32 CIRs through per-CIR detect(): the baseline the batch
+  // restaging is measured against.
+  std::vector<CVec> cirs;
+  double ts_s = 0.0;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const auto cir = test_cir(3, 40 + i);
+    cirs.push_back(cir.taps);
+    ts_s = cir.ts_s;
+  }
+  ranging::DetectorConfig cfg;
+  cfg.shape_registers = {0x93, 0xC8, 0xE6};
+  ranging::SearchSubtractDetector det{cfg};
+  for (auto _ : state) {
+    for (const CVec& taps : cirs) {
+      auto out = det.detect(taps, ts_s, 3);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.counters["cirs_per_sec"] = benchmark::Counter(
+      static_cast<double>(cirs.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SearchSubtract_DetectLoop32);
+
 void BM_ThresholdDetector(benchmark::State& state) {
   const auto cir = test_cir(3, 7);
   ranging::ThresholdDetector det{ranging::DetectorConfig{}};
@@ -319,4 +483,14 @@ BENCHMARK(BM_MonteCarloScenarioRound);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Record the startup dispatch level in the JSON context so a perf run is
+  // attributable to the SIMD level it exercised.
+  benchmark::AddCustomContext(
+      "uwb_simd_level", uwb::simd::level_name(uwb::simd::active_level()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

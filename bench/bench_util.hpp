@@ -29,6 +29,7 @@
 #include "obs/trace_sink.hpp"
 #include "ranging/session.hpp"
 #include "runner/monte_carlo.hpp"
+#include "simd/simd.hpp"
 
 namespace uwb::bench {
 
@@ -80,7 +81,11 @@ class JsonReport {
  public:
   JsonReport(std::string bench_name, int trials)
       : bench_(std::move(bench_name)), trials_(trials),
-        start_(std::chrono::steady_clock::now()) {}
+        start_(std::chrono::steady_clock::now()) {
+    // Every record carries the SIMD dispatch level it ran at, so perf
+    // trajectories (and the forced-level CI legs) are attributable.
+    param("simd_level", simd::level_name(simd::active_level()));
+  }
 
   void param(const std::string& name, double value) {
     params_.emplace_back(name, number(value));

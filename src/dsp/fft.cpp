@@ -8,6 +8,7 @@
 #include "common/expects.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "simd/simd.hpp"
 
 namespace uwb::dsp {
 
@@ -98,13 +99,7 @@ void FftPlan::run_pow2(Complex* x) const {
   if (n < 2) return;
   double* d = as_doubles(x);
   // Stage len = 2: twiddle is 1 — pure add/sub butterflies.
-  for (std::size_t i = 0; i < 2 * n; i += 4) {
-    const double ur = d[i], ui = d[i + 1], vr = d[i + 2], vi = d[i + 3];
-    d[i] = ur + vr;
-    d[i + 1] = ui + vi;
-    d[i + 2] = ur - vr;
-    d[i + 3] = ui - vi;
-  }
+  simd::butterfly_pairs(d, n);
   if (n < 4) return;
   // Stage len = 4: twiddles are 1 and -+i — still multiplication-free.
   for (std::size_t i = 0; i < 2 * n; i += 8) {
@@ -123,26 +118,11 @@ void FftPlan::run_pow2(Complex* x) const {
     d[i + 6] = u1r - v1r;
     d[i + 7] = u1i - v1i;
   }
-  // General stages from the twiddle tables.
+  // General stages from the twiddle tables (vectorized whole-stage kernel).
   for (std::size_t len = 8; len <= n; len <<= 1) {
     const std::size_t half = len >> 1;
     const double* w = reinterpret_cast<const double*>(tw_.data() + (half - 1));
-    for (std::size_t i = 0; i < n; i += len) {
-      double* a = d + 2 * i;
-      double* b = d + 2 * (i + half);
-      for (std::size_t j = 0; j < half; ++j) {
-        const double wr = w[2 * j];
-        const double wi = Inverse ? -w[2 * j + 1] : w[2 * j + 1];
-        const double xr = b[2 * j], xi = b[2 * j + 1];
-        const double vr = xr * wr - xi * wi;
-        const double vi = xr * wi + xi * wr;
-        const double ur = a[2 * j], ui = a[2 * j + 1];
-        a[2 * j] = ur + vr;
-        a[2 * j + 1] = ui + vi;
-        b[2 * j] = ur - vr;
-        b[2 * j + 1] = ui - vi;
-      }
-    }
+    simd::fft_stage(d, w, n, len, Inverse);
   }
 }
 
@@ -162,35 +142,24 @@ void FftPlan::run_bluestein(const Complex* x, Complex* y) const {
   double* ad = as_doubles(a);
   // a[k] = x[k] * conj(chirp[k]) forward, x[k] * chirp[k] inverse.
   const double* xd = reinterpret_cast<const double*>(x);
-  for (std::size_t k = 0; k < n; ++k) {
-    const double cr = w[2 * k];
-    const double ci = Inverse ? w[2 * k + 1] : -w[2 * k + 1];
-    const double xr = xd[2 * k], xi = xd[2 * k + 1];
-    ad[2 * k] = xr * cr - xi * ci;
-    ad[2 * k + 1] = xr * ci + xi * cr;
-  }
+  if (Inverse)
+    simd::cmul(xd, w, ad, n);
+  else
+    simd::cmul_conj(xd, w, ad, n);
   std::fill(a + n, a + m, Complex{});
   sub_->transform_pow2(a, false);
   const CVec& kernel = Inverse ? kernel_inv_ : kernel_fwd_;
   const double* kd = reinterpret_cast<const double*>(kernel.data());
-  for (std::size_t k = 0; k < m; ++k) {
-    const double ar = ad[2 * k], ai = ad[2 * k + 1];
-    const double br = kd[2 * k], bi = kd[2 * k + 1];
-    ad[2 * k] = ar * br - ai * bi;
-    ad[2 * k + 1] = ar * bi + ai * br;
-  }
+  simd::cmul(ad, kd, ad, m);
   sub_->transform_pow2(a, true);
   const double scale = 1.0 / static_cast<double>(m);
   double* yd = as_doubles(y);
   // y[k] = a[k] / m * conj(chirp[k]) forward, * chirp[k] inverse (the same
   // multiplier as on the way in).
-  for (std::size_t k = 0; k < n; ++k) {
-    const double cr = w[2 * k];
-    const double ci = Inverse ? w[2 * k + 1] : -w[2 * k + 1];
-    const double ar = ad[2 * k] * scale, ai = ad[2 * k + 1] * scale;
-    yd[2 * k] = ar * cr - ai * ci;
-    yd[2 * k + 1] = ar * ci + ai * cr;
-  }
+  if (Inverse)
+    simd::cmul_scaled(ad, w, scale, yd, n);
+  else
+    simd::cmul_conj_scaled(ad, w, scale, yd, n);
 }
 
 void FftPlan::transform(const Complex* x, Complex* y, bool inverse) const {
@@ -286,7 +255,7 @@ CVec ifft(const CVec& x) {
   CVec y(x.size());
   plan_for(x.size()).transform(x.data(), y.data(), true);
   const double scale = 1.0 / static_cast<double>(x.size());
-  for (auto& v : y) v *= scale;
+  simd::scale(reinterpret_cast<double*>(y.data()), scale, y.size());
   return y;
 }
 

@@ -5,6 +5,7 @@
 #include "common/expects.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/signal.hpp"
+#include "simd/simd.hpp"
 
 namespace uwb::dsp {
 
@@ -19,18 +20,8 @@ CVec correlate_direct(const CVec& r, const CVec& unit_template) {
   CVec y(n, Complex{});
   const double* rd = reinterpret_cast<const double*>(r.data());
   const double* sd = reinterpret_cast<const double*>(unit_template.data());
-  for (std::size_t i = 0; i < n; ++i) {
-    double acc_r = 0.0, acc_i = 0.0;
-    const std::size_t mmax = std::min(np, n - i);
-    for (std::size_t m = 0; m < mmax; ++m) {
-      // r[i + m] * conj(s[m]) with explicit arithmetic (see fft.cpp).
-      const double xr = rd[2 * (i + m)], xi = rd[2 * (i + m) + 1];
-      const double sr = sd[2 * m], si = sd[2 * m + 1];
-      acc_r += xr * sr + xi * si;
-      acc_i += xi * sr - xr * si;
-    }
-    y[i] = Complex(acc_r, acc_i);
-  }
+  // y[i] = sum_m r[i + m] * conj(s[m]) via the vectorized kernel.
+  simd::corr_direct(rd, sd, reinterpret_cast<double*>(y.data()), n, np);
   return y;
 }
 
@@ -59,16 +50,11 @@ void MatchedFilter::apply_spectrum(const Complex* spectrum, std::size_t padded,
   const double* a = reinterpret_cast<const double*>(spectrum);
   const double* b = reinterpret_cast<const double*>(tspec.data());
   double* w = reinterpret_cast<double*>(work.data());
-  for (std::size_t k = 0; k < padded; ++k) {
-    const double ar = a[2 * k], ai = a[2 * k + 1];
-    const double br = b[2 * k], bi = b[2 * k + 1];
-    w[2 * k] = ar * br - ai * bi;
-    w[2 * k + 1] = ar * bi + ai * br;
-  }
+  simd::cmul(a, b, w, padded);
   plan_for(padded).transform_pow2(work.data(), true);
   const double scale = 1.0 / static_cast<double>(padded);
   out.resize(out_len);
-  for (std::size_t i = 0; i < out_len; ++i) out[i] = work[i] * scale;
+  simd::copy_scaled(w, scale, reinterpret_cast<double*>(out.data()), out_len);
 }
 
 CVec MatchedFilter::apply(const CVec& r) const {

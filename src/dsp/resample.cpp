@@ -4,6 +4,7 @@
 
 #include "common/expects.hpp"
 #include "dsp/fft.hpp"
+#include "simd/simd.hpp"
 
 namespace uwb::dsp {
 
@@ -44,7 +45,7 @@ CVec upsample_fft(const CVec& x, int factor) {
     upsample_spectrum(spec.data(), n, factor, padded.data());
     pm.transform(padded.data(), y.data(), true);
   }
-  for (auto& v : y) v *= scale;
+  simd::scale(reinterpret_cast<double*>(y.data()), scale, m);
   return y;
 }
 

@@ -18,6 +18,7 @@
 #include "dsp/resample.hpp"
 #include "dsp/signal.hpp"
 #include "dw1000/pulse.hpp"
+#include "simd/simd.hpp"
 
 namespace uwb::ranging {
 
@@ -48,6 +49,20 @@ struct SearchSubtractDetector::TemplateBank {
     std::uint8_t reg = 0x93;
   };
   std::vector<Entry> entries;
+};
+
+// Per-CIR working set of the fast detection path: the residual, its
+// spectra, the per-template correlation outputs, and the subtraction
+// window. Pooled per thread, so a warm thread allocates nothing.
+struct SearchSubtractDetector::FastState {
+  CVec padded_cir;
+  CVec residual;
+  CVec spec_m;   // spectrum of the upsampled residual at its own length M
+  CVec spec_p;   // spectrum of the zero-padded residual at the bank length P
+  CVec delta;    // subtracted waveform inside the update window
+  std::vector<CVec> ys;  // one correlation output per template
+  std::size_t kM = 0;    // upsampled residual length
+  std::size_t kP = 0;    // padded bank-correlation length
 };
 
 SearchSubtractDetector::SearchSubtractDetector(DetectorConfig config)
@@ -94,21 +109,13 @@ BankCache& bank_cache() {
   return cache;
 }
 
-// Reused per-thread working set of the fast detection path: the residual,
-// its spectra, the per-template correlation outputs, and the subtraction
-// window. One detect() allocates nothing once the thread is warm.
-struct DetectScratch {
-  CVec padded_cir;
-  CVec residual;
-  CVec spec_m;   // spectrum of the upsampled residual at its own length M
-  CVec spec_p;   // spectrum of the zero-padded residual at the bank length P
-  CVec delta;    // subtracted waveform inside the update window
-  std::vector<CVec> ys;  // one correlation output per template
-};
-
-DetectScratch& detect_scratch() {
-  thread_local DetectScratch scratch;
-  return scratch;
+// Thread-local pool of fast-path working sets: slot 0 serves single-CIR
+// detect(); detect_batch holds one slot per in-flight CIR of a chunk.
+std::vector<SearchSubtractDetector::FastState>& fast_states(
+    std::size_t count) {
+  thread_local std::vector<SearchSubtractDetector::FastState> states;
+  if (states.size() < count) states.resize(count);
+  return states;
 }
 
 }  // namespace
@@ -315,21 +322,22 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_exact(
   return found;
 }
 
-std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
-    const CVec& cir_taps, const TemplateBank& bank, int max_responses) const {
-  const double ts_up = bank.ts_up;
+void SearchSubtractDetector::prepare_residual(const CVec& cir_taps,
+                                              const TemplateBank& bank,
+                                              FastState& st) const {
   const int factor = config_.upsample_factor;
   const std::size_t n2 = dsp::next_pow2(cir_taps.size());
   const std::size_t kM = n2 * static_cast<std::size_t>(factor);
   // One padded length for the whole bank (sized by the longest template) so
   // every template correlates against the same residual spectrum.
   const std::size_t kP = dsp::next_pow2(kM + bank.max_len - 1);
-  DetectScratch& scratch = detect_scratch();
+  st.kM = kM;
+  st.kP = kP;
 
   // Step 1: upsample the zero-padded CIR, keeping both the time-domain
   // residual and its length-M spectrum (the zero-stuffed CIR spectrum).
-  CVec& residual = scratch.residual;
-  CVec& spec_m = scratch.spec_m;
+  CVec& residual = st.residual;
+  CVec& spec_m = st.spec_m;
   spec_m.resize(kM);
   {
   UWB_OBS_SPAN("upsample");
@@ -341,7 +349,7 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
     std::copy(residual.begin(), residual.end(), spec_m.begin());
     dsp::plan_for(kM).transform_pow2(spec_m.data(), false);
   } else {
-    CVec& padded = scratch.padded_cir;
+    CVec& padded = st.padded_cir;
     padded.resize(n2);
     std::copy(cir_taps.begin(), cir_taps.end(), padded.begin());
     std::fill(padded.begin() + static_cast<std::ptrdiff_t>(cir_taps.size()),
@@ -349,12 +357,13 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
     dsp::plan_for(n2).transform_pow2(padded.data(), false);
     // Fold the upsampling gain into the CIR spectrum (n2 samples) instead
     // of the stuffed spectrum (kM samples).
-    for (auto& v : padded) v *= static_cast<double>(factor);
+    simd::scale(reinterpret_cast<double*>(padded.data()),
+                static_cast<double>(factor), n2);
     dsp::upsample_spectrum(padded.data(), n2, factor, spec_m.data());
     residual = spec_m;
     dsp::plan_for(kM).transform_pow2(residual.data(), true);
     const double inv_m = 1.0 / static_cast<double>(kM);
-    for (auto& v : residual) v *= inv_m;
+    simd::scale(reinterpret_cast<double*>(residual.data()), inv_m, kM);
   }
   }
 
@@ -364,25 +373,20 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
   // length-M transform of the twiddle-modulated residual (the first
   // decimation-in-frequency stage of FFT_P run on an input whose upper half
   // is zero).
-  CVec& spec_p = scratch.spec_p;
+  CVec& spec_p = st.spec_p;
   spec_p.resize(kP);
   {
   UWB_OBS_SPAN("fft");
   if (kP == kM) {
     std::copy(spec_m.begin(), spec_m.end(), spec_p.begin());
   } else if (kP == 2 * kM) {
-    CVec& modulated = scratch.padded_cir;  // padded_cir is dead past step 1
+    CVec& modulated = st.padded_cir;  // padded_cir is dead past step 1
     modulated.resize(kM);
     const double* w =
         reinterpret_cast<const double*>(dsp::plan_for(kP).twiddle_half());
     const double* u = reinterpret_cast<const double*>(residual.data());
     double* t = reinterpret_cast<double*>(modulated.data());
-    for (std::size_t j = 0; j < kM; ++j) {
-      const double ur = u[2 * j], ui = u[2 * j + 1];
-      const double wr = w[2 * j], wi = w[2 * j + 1];
-      t[2 * j] = ur * wr - ui * wi;
-      t[2 * j + 1] = ur * wi + ui * wr;
-    }
+    simd::cmul(u, w, t, kM);
     dsp::plan_for(kM).transform_pow2(modulated.data(), false);
     for (std::size_t k = 0; k < kM; ++k) {
       spec_p[2 * k] = spec_m[k];
@@ -396,17 +400,26 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
     dsp::plan_for(kP).transform_pow2(spec_p.data(), false);
   }
   }
+}
 
+void SearchSubtractDetector::bank_correlate(const TemplateBank& bank,
+                                            FastState& st) const {
   // Step 2 (first iteration): one pointwise multiply + inverse transform
   // per template against the shared residual spectrum.
   const std::size_t n_shapes = bank.entries.size();
-  if (scratch.ys.size() < n_shapes) scratch.ys.resize(n_shapes);
-  {
-    UWB_OBS_SPAN("bank_correlate");
-    for (std::size_t i = 0; i < n_shapes; ++i)
-      bank.entries[i].filter.apply_spectrum(spec_p.data(), kP, kM,
-                                            scratch.ys[i]);
-  }
+  if (st.ys.size() < n_shapes) st.ys.resize(n_shapes);
+  UWB_OBS_SPAN("bank_correlate");
+  for (std::size_t i = 0; i < n_shapes; ++i)
+    bank.entries[i].filter.apply_spectrum(st.spec_p.data(), st.kP, st.kM,
+                                          st.ys[i]);
+}
+
+std::vector<DetectedResponse> SearchSubtractDetector::search_loop(
+    const TemplateBank& bank, int max_responses, FastState& st) const {
+  const double ts_up = bank.ts_up;
+  const std::size_t kM = st.kM;
+  const std::size_t n_shapes = bank.entries.size();
+  CVec& residual = st.residual;
 
   std::vector<DetectedResponse> found;
   found.reserve(static_cast<std::size_t>(max_responses));
@@ -419,16 +432,10 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
     {
     UWB_OBS_SPAN("peak_pick");
     for (std::size_t i = 0; i < n_shapes; ++i) {
-      const double* y = reinterpret_cast<const double*>(scratch.ys[i].data());
-      std::size_t idx = 0;
-      double max_norm = -1.0;
-      for (std::size_t j = 0; j < kM; ++j) {
-        const double nrm = y[2 * j] * y[2 * j] + y[2 * j + 1] * y[2 * j + 1];
-        if (nrm > max_norm) {
-          max_norm = nrm;
-          idx = j;
-        }
-      }
+      const double* y = reinterpret_cast<const double*>(st.ys[i].data());
+      const std::size_t idx = simd::argmax_norm(y, kM);
+      const double max_norm =
+          y[2 * idx] * y[2 * idx] + y[2 * idx + 1] * y[2 * idx + 1];
       if (max_norm > best_norm) {
         best_norm = max_norm;
         best = {static_cast<int>(i), idx, 0.0};
@@ -436,7 +443,7 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
     }
     }
     UWB_ENSURES(best.shape >= 0);
-    const CVec& best_y = scratch.ys[static_cast<std::size_t>(best.shape)];
+    const CVec& best_y = st.ys[static_cast<std::size_t>(best.shape)];
     best.mag = std::abs(best_y[best.index]);
 
     const double noise = dsp::noise_sigma_estimate(best_y);
@@ -472,7 +479,7 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
     const auto centre = static_cast<double>(entry.centre_index);
     const std::ptrdiff_t m_lo = std::max<std::ptrdiff_t>(0, -n0);
     const std::ptrdiff_t m_hi = std::min(len + 1, res_n - n0);
-    CVec& delta = scratch.delta;
+    CVec& delta = st.delta;
     delta.resize(static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, m_hi - m_lo)));
     for (std::ptrdiff_t m = m_lo; m < m_hi; ++m) {
       const double t = (static_cast<double>(m) - centre - frac) * ts_up;
@@ -483,7 +490,7 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
 
     // Incremental update: the subtraction only changed residual samples
     // [n0+m_lo, n0+m_hi), so each template's correlation output changes
-    // only where its window overlaps that range — a short direct
+    // only where its window overlaps that range — a short windowed
     // correlation (O(K L^2) per iteration) instead of K full transforms.
     const double* dd = reinterpret_cast<const double*>(delta.data());
     for (std::size_t i = 0; i < n_shapes; ++i) {
@@ -491,26 +498,12 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
           static_cast<std::ptrdiff_t>(bank.entries[i].length);
       const double* sd = reinterpret_cast<const double*>(
           bank.entries[i].unit_template.data());
-      double* yd = reinterpret_cast<double*>(scratch.ys[i].data());
+      double* yd = reinterpret_cast<double*>(st.ys[i].data());
       const std::ptrdiff_t j_lo =
           std::max<std::ptrdiff_t>(0, n0 + m_lo - len_i + 1);
       const std::ptrdiff_t j_hi = std::min(res_n, n0 + m_hi);
-      for (std::ptrdiff_t j = j_lo; j < j_hi; ++j) {
-        const std::ptrdiff_t p_lo = std::max(n0 + m_lo, j);
-        const std::ptrdiff_t p_hi = std::min(n0 + m_hi, j + len_i);
-        double acc_r = 0.0, acc_i = 0.0;
-        for (std::ptrdiff_t p = p_lo; p < p_hi; ++p) {
-          // delta[p - n0 - m_lo] * conj(s_i[p - j])
-          const std::ptrdiff_t di = p - n0 - m_lo;
-          const std::ptrdiff_t si = p - j;
-          const double dr = dd[2 * di], dim = dd[2 * di + 1];
-          const double sr = sd[2 * si], sim = sd[2 * si + 1];
-          acc_r += dr * sr + dim * sim;
-          acc_i += dim * sr - dr * sim;
-        }
-        yd[2 * j] -= acc_r;
-        yd[2 * j + 1] -= acc_i;
-      }
+      simd::corr_window_update(yd, dd, sd, j_lo, j_hi, n0 + m_lo, n0 + m_hi,
+                               len_i);
 #ifndef NDEBUG
       // Debug contract: the incrementally maintained output equals a fresh
       // correlation of the updated residual to floating-point roundoff.
@@ -518,7 +511,7 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
         const CVec ref = bank.entries[i].filter.apply(residual);
         double max_diff = 0.0, ref_peak = 0.0;
         for (std::size_t j = 0; j < kM; ++j) {
-          max_diff = std::max(max_diff, std::abs(ref[j] - scratch.ys[i][j]));
+          max_diff = std::max(max_diff, std::abs(ref[j] - st.ys[i][j]));
           ref_peak = std::max(ref_peak, std::abs(ref[j]));
         }
         assert(max_diff <= 1e-6 * (1.0 + ref_peak) &&
@@ -533,6 +526,61 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
               return a.tau_s < b.tau_s;
             });
   return found;
+}
+
+std::vector<DetectedResponse> SearchSubtractDetector::detect_fast(
+    const CVec& cir_taps, const TemplateBank& bank, int max_responses) const {
+  FastState& st = fast_states(1).front();
+  prepare_residual(cir_taps, bank, st);
+  bank_correlate(bank, st);
+  return search_loop(bank, max_responses, st);
+}
+
+std::vector<std::vector<DetectedResponse>> SearchSubtractDetector::detect_batch(
+    const std::vector<CVec>& cirs, double ts_s, int max_responses) const {
+  UWB_EXPECTS(max_responses >= 1);
+  std::vector<std::vector<DetectedResponse>> out(cirs.size());
+  if (cirs.empty()) return out;
+  const std::size_t taps = cirs.front().size();
+  UWB_EXPECTS(taps >= 1);
+  for (const CVec& cir : cirs) UWB_EXPECTS(cir.size() == taps);
+  const TemplateBank& bank = bank_for(ts_s);
+
+  if (config_.exact_recompute) {
+    for (std::size_t i = 0; i < cirs.size(); ++i)
+      out[i] = detect_exact(cirs[i], bank, max_responses, nullptr);
+    return out;
+  }
+
+  // Stage-major execution over bounded chunks: first every CIR's upsample
+  // and forward spectra, then one template-major bank-correlation sweep
+  // (each template's spectrum is loaded once per chunk instead of once per
+  // CIR), then the per-CIR iterative search. The chunk is kept small so
+  // the per-item scratch (several kP-sized arrays each) stays
+  // cache-resident; results are identical to per-CIR detect() in any
+  // chunking.
+  constexpr std::size_t kChunk = 2;
+  const std::size_t n_shapes = bank.entries.size();
+  auto& states = fast_states(std::min<std::size_t>(kChunk, cirs.size()));
+  for (std::size_t base = 0; base < cirs.size(); base += kChunk) {
+    const std::size_t count = std::min(kChunk, cirs.size() - base);
+    for (std::size_t i = 0; i < count; ++i)
+      prepare_residual(cirs[base + i], bank, states[i]);
+    {
+      UWB_OBS_SPAN("bank_correlate");
+      for (std::size_t t = 0; t < n_shapes; ++t) {
+        for (std::size_t i = 0; i < count; ++i) {
+          FastState& st = states[i];
+          if (st.ys.size() < n_shapes) st.ys.resize(n_shapes);
+          bank.entries[t].filter.apply_spectrum(st.spec_p.data(), st.kP,
+                                                st.kM, st.ys[t]);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < count; ++i)
+      out[base + i] = search_loop(bank, max_responses, states[i]);
+  }
+  return out;
 }
 
 }  // namespace uwb::ranging

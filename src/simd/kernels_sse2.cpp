@@ -1,0 +1,197 @@
+// SSE2 kernel table: one complex (two doubles) per vector operation.
+//
+// SSE2 is the x86-64 baseline, so this TU needs no special compile flags;
+// it is the narrow portability rung between the scalar reference and AVX2.
+// Every elementwise kernel performs the scalar operation sequence per
+// element (products formed, then combined in the same association), so the
+// results are bit-identical to the scalar table. The reduction kernels
+// (cdot_conj and the correlations built on it) also accumulate one complex
+// at a time in scalar order, so even they match the scalar table bit for
+// bit at this level.
+#include "simd/kernel_table.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace uwb::simd::detail {
+namespace {
+
+// [lo, hi] constructors: _mm_set_pd takes (hi, lo).
+inline __m128d neg_lo() { return _mm_set_pd(0.0, -0.0); }   // negate lane 0
+inline __m128d neg_hi() { return _mm_set_pd(-0.0, 0.0); }   // negate lane 1
+inline __m128d neg_both() { return _mm_set_pd(-0.0, -0.0); }
+
+// One complex product a*b as [ar*br - ai*bi, ai*br + ar*bi]:
+//   t1 = [ar*br, ai*br], t2 = [ai*bi, ar*bi], result = t1 + (-t2_lo, +t2_hi).
+inline __m128d cprod(__m128d a, __m128d b) {
+  const __m128d t1 = _mm_mul_pd(a, _mm_unpacklo_pd(b, b));
+  const __m128d aswap = _mm_shuffle_pd(a, a, 1);
+  const __m128d t2 = _mm_mul_pd(aswap, _mm_unpackhi_pd(b, b));
+  return _mm_add_pd(t1, _mm_xor_pd(t2, neg_lo()));
+}
+
+// a*conj(b) = [ar*br + ai*bi, ai*br - ar*bi]: same products, signs flipped.
+inline __m128d cprod_conj(__m128d a, __m128d b) {
+  const __m128d t1 = _mm_mul_pd(a, _mm_unpacklo_pd(b, b));
+  const __m128d aswap = _mm_shuffle_pd(a, a, 1);
+  const __m128d t2 = _mm_mul_pd(aswap, _mm_unpackhi_pd(b, b));
+  return _mm_add_pd(t1, _mm_xor_pd(t2, neg_hi()));
+}
+
+template <bool Conj, bool Scaled>
+void cmul_impl(const double* a, const double* b, double s, double* out,
+               std::size_t n) {
+  const __m128d sv = _mm_set1_pd(s);
+  for (std::size_t k = 0; k < n; ++k) {
+    __m128d av = _mm_loadu_pd(a + 2 * k);
+    if constexpr (Scaled) av = _mm_mul_pd(av, sv);
+    const __m128d bv = _mm_loadu_pd(b + 2 * k);
+    const __m128d r = Conj ? cprod_conj(av, bv) : cprod(av, bv);
+    _mm_storeu_pd(out + 2 * k, r);
+  }
+}
+
+void sse2_cmul(const double* a, const double* b, double* out, std::size_t n) {
+  cmul_impl<false, false>(a, b, 1.0, out, n);
+}
+
+void sse2_cmul_conj(const double* a, const double* b, double* out,
+                    std::size_t n) {
+  cmul_impl<true, false>(a, b, 1.0, out, n);
+}
+
+void sse2_cmul_scaled(const double* a, const double* b, double s, double* out,
+                      std::size_t n) {
+  cmul_impl<false, true>(a, b, s, out, n);
+}
+
+void sse2_cmul_conj_scaled(const double* a, const double* b, double s,
+                           double* out, std::size_t n) {
+  cmul_impl<true, true>(a, b, s, out, n);
+}
+
+void sse2_scale(double* x, double s, std::size_t n) {
+  const __m128d sv = _mm_set1_pd(s);
+  for (std::size_t k = 0; k < 2 * n; k += 2)
+    _mm_storeu_pd(x + k, _mm_mul_pd(_mm_loadu_pd(x + k), sv));
+}
+
+void sse2_copy_scaled(const double* x, double s, double* out, std::size_t n) {
+  const __m128d sv = _mm_set1_pd(s);
+  for (std::size_t k = 0; k < 2 * n; k += 2)
+    _mm_storeu_pd(out + k, _mm_mul_pd(_mm_loadu_pd(x + k), sv));
+}
+
+void sse2_butterfly_pairs(double* d, std::size_t n) {
+  for (std::size_t i = 0; i < 2 * n; i += 4) {
+    const __m128d u = _mm_loadu_pd(d + i);
+    const __m128d v = _mm_loadu_pd(d + i + 2);
+    _mm_storeu_pd(d + i, _mm_add_pd(u, v));
+    _mm_storeu_pd(d + i + 2, _mm_sub_pd(u, v));
+  }
+}
+
+void sse2_fft_stage(double* d, const double* w, std::size_t n,
+                    std::size_t len, bool inverse) {
+  const std::size_t half = len >> 1;
+  const __m128d wi_sign = inverse ? neg_both() : _mm_setzero_pd();
+  for (std::size_t i = 0; i < n; i += len) {
+    double* a = d + 2 * i;
+    double* b = d + 2 * (i + half);
+    for (std::size_t j = 0; j < half; ++j) {
+      const __m128d wv = _mm_loadu_pd(w + 2 * j);
+      const __m128d x = _mm_loadu_pd(b + 2 * j);
+      // v = x * (wr + i*wi') with wi' = inverse ? -wi : wi.
+      const __m128d t1 = _mm_mul_pd(x, _mm_unpacklo_pd(wv, wv));
+      const __m128d xswap = _mm_shuffle_pd(x, x, 1);
+      const __m128d wiv =
+          _mm_xor_pd(_mm_unpackhi_pd(wv, wv), wi_sign);
+      const __m128d t2 = _mm_mul_pd(xswap, wiv);
+      const __m128d v = _mm_add_pd(t1, _mm_xor_pd(t2, neg_lo()));
+      const __m128d u = _mm_loadu_pd(a + 2 * j);
+      _mm_storeu_pd(a + 2 * j, _mm_add_pd(u, v));
+      _mm_storeu_pd(b + 2 * j, _mm_sub_pd(u, v));
+    }
+  }
+}
+
+std::size_t sse2_argmax_norm(const double* y, std::size_t n) {
+  // One |y|^2 per iteration keeps the scalar first-maximum semantics
+  // directly; the pay-off at this width is the fused re^2+im^2.
+  std::size_t idx = 0;
+  double max_norm = -1.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const __m128d v = _mm_loadu_pd(y + 2 * j);
+    const __m128d sq = _mm_mul_pd(v, v);
+    const double nrm =
+        _mm_cvtsd_f64(_mm_add_sd(sq, _mm_unpackhi_pd(sq, sq)));
+    if (nrm > max_norm) {
+      max_norm = nrm;
+      idx = j;
+    }
+  }
+  return idx;
+}
+
+void sse2_cdot_conj(const double* a, const double* b, std::size_t n,
+                    double* re, double* im) {
+  // Sequential single-complex accumulation: identical association to the
+  // scalar loop, so the result is bit-identical to the scalar table.
+  __m128d acc = _mm_setzero_pd();
+  for (std::size_t m = 0; m < n; ++m) {
+    const __m128d av = _mm_loadu_pd(a + 2 * m);
+    const __m128d bv = _mm_loadu_pd(b + 2 * m);
+    acc = _mm_add_pd(acc, cprod_conj(av, bv));
+  }
+  *re = _mm_cvtsd_f64(acc);
+  *im = _mm_cvtsd_f64(_mm_unpackhi_pd(acc, acc));
+}
+
+void sse2_corr_direct(const double* r, const double* s, double* y,
+                      std::size_t n, std::size_t np) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t mmax = np < n - i ? np : n - i;
+    sse2_cdot_conj(r + 2 * i, s, mmax, &y[2 * i], &y[2 * i + 1]);
+  }
+}
+
+void sse2_corr_window_update(double* y, const double* d, const double* s,
+                             std::ptrdiff_t j_lo, std::ptrdiff_t j_hi,
+                             std::ptrdiff_t w_lo, std::ptrdiff_t w_hi,
+                             std::ptrdiff_t np) {
+  for (std::ptrdiff_t j = j_lo; j < j_hi; ++j) {
+    const std::ptrdiff_t p_lo = w_lo > j ? w_lo : j;
+    const std::ptrdiff_t p_hi = w_hi < j + np ? w_hi : j + np;
+    if (p_lo >= p_hi) continue;
+    double acc_r = 0.0, acc_i = 0.0;
+    sse2_cdot_conj(d + 2 * (p_lo - w_lo), s + 2 * (p_lo - j),
+                   static_cast<std::size_t>(p_hi - p_lo), &acc_r, &acc_i);
+    y[2 * j] -= acc_r;
+    y[2 * j + 1] -= acc_i;
+  }
+}
+
+}  // namespace
+
+const KernelTable* sse2_table_or_null() {
+  static constexpr KernelTable table{
+      sse2_cmul,         sse2_cmul_conj,
+      sse2_cmul_scaled,  sse2_cmul_conj_scaled,
+      sse2_scale,        sse2_copy_scaled,
+      sse2_butterfly_pairs, sse2_fft_stage,
+      sse2_argmax_norm,  sse2_cdot_conj,
+      sse2_corr_direct,  sse2_corr_window_update,
+  };
+  return &table;
+}
+
+}  // namespace uwb::simd::detail
+
+#else  // !__SSE2__
+
+namespace uwb::simd::detail {
+const KernelTable* sse2_table_or_null() { return nullptr; }
+}  // namespace uwb::simd::detail
+
+#endif

@@ -25,12 +25,15 @@ and fails on any differing value outside the scheduling-dependent
 prefixes ``mc_``, ``cache_``, and ``obs_`` (wall-clock and per-thread
 bookkeeping, which legitimately vary).
 
-``--require-key`` mode checks that the ``metrics`` object of ``--current``
-contains every named key (repeat the flag; a trailing ``*`` matches a
-prefix). CI uses it to assert that the fault/resilience keys
-(``fault_injected_total``, ``session_retry_attempts``, ...) actually made
-it into the bench JSON — a silent schema regression would otherwise turn
-the determinism gate into a vacuous pass.
+``--require-key`` mode checks that the metrics of ``--current`` contain
+every named key (repeat the flag; a trailing ``*`` matches a prefix). For
+the JsonReport schema the keys are the ``metrics`` object's; for
+google-benchmark output every numeric field of every benchmark entry is
+exposed as ``<benchmark name>.<field>`` (so per-benchmark counters like
+``BM_SearchSubtract_DetectBatch32.cirs_per_sec`` are addressable). CI uses
+it to assert that the fault/resilience keys and the batched-detection
+throughput counter actually made it into the bench JSON — a silent schema
+regression would otherwise turn the gates into a vacuous pass.
 
 Usage:
     check_bench_regression.py --baseline b.json --current c.json \
@@ -160,12 +163,31 @@ def check_determinism(args: argparse.Namespace) -> int:
     return 0
 
 
-def check_required_keys(args: argparse.Namespace) -> int:
-    doc = load_json(args.current)
+def metrics_of(doc: dict, path: str) -> dict:
+    """The key->value metrics view of either supported schema."""
+    if "benchmarks" in doc:  # google-benchmark: flatten numeric fields
+        metrics: dict = {}
+        for bench in doc["benchmarks"]:
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench.get("name")
+            if name is None:
+                continue
+            for key, value in bench.items():
+                if isinstance(value, bool) or not isinstance(value,
+                                                             (int, float)):
+                    continue
+                metrics[f"{name}.{key}"] = value
+        return metrics
     metrics = doc.get("metrics")
     if metrics is None:
-        fatal(f"{args.current}: no 'metrics' object (require-key mode "
-              f"expects the JsonReport schema)")
+        fatal(f"{path}: no 'metrics' object (require-key mode expects the "
+              f"JsonReport or google-benchmark schema)")
+    return metrics
+
+
+def check_required_keys(args: argparse.Namespace) -> int:
+    metrics = metrics_of(load_json(args.current), args.current)
 
     missing = []
     for key in args.require_key:

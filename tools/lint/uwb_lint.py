@@ -22,6 +22,12 @@ cannot know about:
   magic-tick-constant  The DW1000 tick (15.65e-12 s) and CIR tap spacing
                        (1.0016e-9 s) live in src/common/constants.hpp; raw
                        copies of those literals drift out of sync.
+  raw-intrinsics       SIMD intrinsics (immintrin.h, _mm*/_mm256_*,
+                       vld1q_*) are confined to src/simd/ where the
+                       dispatch layer guards ISA availability and the
+                       equivalence contract is tested; a stray intrinsic
+                       elsewhere silently breaks the scalar/sse2/avx2
+                       forced-dispatch CI legs.
 
 Implementation: when libclang is importable the checker could parse real
 ASTs, but the baked toolchain ships without it, so the real path is a
@@ -351,6 +357,49 @@ def check_magic_tick_constant(src):
                 src.path, i, "magic-tick-constant",
                 f"raw literal {m.group(1)} duplicates {name} "
                 "(common/constants.hpp)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# raw-intrinsics
+
+
+_INTRINSIC_HEADER_RE = re.compile(
+    r"#\s*include\s*[<\"]"
+    r"(immintrin|emmintrin|xmmintrin|pmmintrin|tmmintrin|smmintrin|"
+    r"nmmintrin|wmmintrin|avxintrin|avx2intrin|x86intrin|arm_neon)\.h[>\"]")
+_INTRINSIC_IDENT_RE = re.compile(
+    r"(?<![\w:])(_mm_\w+|_mm256_\w+|_mm512_\w+|v(?:ld|st)[1-4]q?_\w+)")
+
+# The vectorization layer: ISA-guarded kernel TUs plus the dispatch core.
+_INTRINSICS_ALLOWED = ("src/simd/",)
+
+
+@rule("raw-intrinsics")
+def check_raw_intrinsics(src):
+    """SIMD intrinsics and their headers are confined to src/simd/."""
+    if _in_dirs(src.path, _INTRINSICS_ALLOWED):
+        return []
+    findings = []
+    for i, line in enumerate(src.code_lines, start=1):
+        # Quoted includes are blanked by the string stripper, so match the
+        # header name on the raw line — but only when the stripped line still
+        # carries the #include (prose in comments must not fire).
+        m = _INTRINSIC_HEADER_RE.search(src.raw_lines[i - 1])
+        if m and re.match(r"\s*#\s*include", line):
+            findings.append(Finding(
+                src.path, i, "raw-intrinsics",
+                f"intrinsics header <{m.group(1)}.h> outside src/simd/; "
+                "add a kernel to src/simd/ and call it through the "
+                "dispatch layer"))
+            continue
+        m = _INTRINSIC_IDENT_RE.search(line)
+        if m:
+            findings.append(Finding(
+                src.path, i, "raw-intrinsics",
+                f"raw intrinsic '{m.group(1)}' outside src/simd/; "
+                "add a kernel to src/simd/ and call it through the "
+                "dispatch layer"))
     return findings
 
 

@@ -178,6 +178,36 @@ class LintFixtureTest(unittest.TestCase):
                        "// One tick is 15.65e-12 s.\nint x = 0;\n")
         self.assert_findings(p, "magic-tick-constant", [])
 
+    # -- raw-intrinsics ---------------------------------------------------
+
+    def test_raw_intrinsics_violation(self):
+        p = self.write("src/dsp/bad_simd.cpp", (
+            "#include <immintrin.h>\n"
+            "void f(double* d) {\n"
+            "  __m256d v = _mm256_loadu_pd(d);\n"
+            "  _mm256_storeu_pd(d, _mm256_add_pd(v, v));\n"
+            "}\n"))
+        self.assert_findings(p, "raw-intrinsics", [1, 3, 4])
+
+    def test_raw_intrinsics_quoted_include_and_neon(self):
+        p = self.write("src/ranging/bad_neon.cpp", (
+            "#include \"arm_neon.h\"\n"
+            "void f(float* d) { float32x4_t v = vld1q_f32(d); }\n"))
+        self.assert_findings(p, "raw-intrinsics", [1, 2])
+
+    def test_raw_intrinsics_allowed_in_simd_dir(self):
+        p = self.write("src/simd/kernels_avx2.cpp", (
+            "#include <immintrin.h>\n"
+            "__m256d dbl(__m256d v) { return _mm256_add_pd(v, v); }\n"))
+        self.assert_findings(p, "raw-intrinsics", [])
+
+    def test_raw_intrinsics_comment_and_lookalikes_clean(self):
+        p = self.write("src/dsp/good_simd.cpp", (
+            "// Vectorized via _mm256_mul_pd in src/simd (see immintrin.h).\n"
+            "#include \"simd/simd.hpp\"\n"
+            "void f(double* d) { uwb::simd::scale(d, 2.0, 8); }\n"))
+        self.assert_findings(p, "raw-intrinsics", [])
+
     # -- suppression ------------------------------------------------------
 
     def test_inline_suppression(self):
