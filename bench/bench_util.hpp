@@ -210,6 +210,16 @@ class JsonReport {
       metrics.emplace_back("obs_trial_latency_max_ms", number(h->max()));
       metrics.emplace_back("obs_trial_latency_mean_ms", number(h->mean()));
     }
+
+    // Per-frame delivery fan-out from the spatially-sharded medium.
+    if (const obs::Histogram* h = snap.histogram("medium_frame_fanout")) {
+      metrics.emplace_back("obs_medium_fanout_count",
+                           number(static_cast<double>(h->count())));
+      metrics.emplace_back("obs_medium_fanout_p50", number(h->quantile(0.50)));
+      metrics.emplace_back("obs_medium_fanout_p90", number(h->quantile(0.90)));
+      metrics.emplace_back("obs_medium_fanout_max", number(h->max()));
+      metrics.emplace_back("obs_medium_fanout_mean", number(h->mean()));
+    }
   }
 
   static std::string number(double v) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "channel/path_loss.hpp"
 #include "common/constants.hpp"
@@ -27,6 +28,7 @@ ChannelRealization ChannelModel::realize(geom::Vec2 tx, geom::Vec2 rx,
       geom::compute_paths_cached(room_, tx, rx, params_.max_reflection_order);
   UWB_ENSURES(!specular.empty());
   out.los_delay_s = specular.front().length_m / k::c_air;
+  out.taps.reserve(specular.size());
 
   double los_amp = 0.0;
   for (const geom::SpecularPath& p : specular) {
@@ -52,7 +54,9 @@ ChannelRealization ChannelModel::realize(geom::Vec2 tx, geom::Vec2 rx,
             : loss_db_to_amplitude(log_distance_loss_db(
                   specular.front().length_m, params_.path_loss_exponent,
                   params_.reference_loss_db));
-    for (const DiffuseRay& ray : draw_diffuse_tail(params_.diffuse, rng)) {
+    const std::vector<DiffuseRay> rays = draw_diffuse_tail(params_.diffuse, rng);
+    out.taps.reserve(out.taps.size() + rays.size());
+    for (const DiffuseRay& ray : rays) {
       Tap tap;
       tap.delay_s = out.los_delay_s + ray.excess_delay_s;
       tap.amplitude = ray.amplitude * ref_amp;
@@ -64,6 +68,24 @@ ChannelRealization ChannelModel::realize(geom::Vec2 tx, geom::Vec2 rx,
   std::sort(out.taps.begin(), out.taps.end(),
             [](const Tap& a, const Tap& b) { return a.delay_s < b.delay_s; });
   return out;
+}
+
+Meters ChannelModel::max_detectable_range(double threshold_amp,
+                                          double margin_db) const {
+  if (!(threshold_amp > 0.0) || !(params_.path_loss_exponent > 0.0)) {
+    return Meters{std::numeric_limits<double>::infinity()};
+  }
+  // Best-case LOS amplitude at distance d (with margin_db of fading
+  // headroom): 10^((margin - ref)/20) * d^(-n/2). Solve amp == threshold
+  // for d.
+  const double numer =
+      std::pow(10.0, (margin_db - params_.reference_loss_db) / 20.0);
+  const double d =
+      std::pow(numer / threshold_amp, 2.0 / params_.path_loss_exponent);
+  if (!std::isfinite(d)) {
+    return Meters{std::numeric_limits<double>::infinity()};
+  }
+  return Meters{d};
 }
 
 }  // namespace uwb::channel

@@ -10,6 +10,7 @@
 #include "channel/saleh_valenzuela.hpp"
 #include "common/random.hpp"
 #include "common/types.hpp"
+#include "common/units.hpp"
 #include "geom/image_source.hpp"
 #include "geom/room.hpp"
 
@@ -61,6 +62,17 @@ class ChannelModel {
 
   /// Draw a realisation for a TX at `tx` and an RX at `rx` [m].
   ChannelRealization realize(geom::Vec2 tx, geom::Vec2 rx, Rng& rng) const;
+
+  /// Upper bound on the TX-RX distance at which any tap of a realisation
+  /// can still reach `threshold_amp`. Every specular path is at least as
+  /// long as the direct path and only adds reflection/obstruction loss, and
+  /// diffuse rays are scaled below the direct-path amplitude, so the bound
+  /// follows from the log-distance law of the unobstructed LOS component
+  /// alone. `margin_db` is headroom for the unbounded specular fading draw
+  /// (16 dB = 16 sigma at the default 1 dB fading — astronomically safe).
+  /// Returns +infinity (no finite bound) when the threshold or the path-loss
+  /// exponent make the law non-invertible.
+  Meters max_detectable_range(double threshold_amp, double margin_db) const;
 
   const geom::Room& room() const { return room_; }
   const ChannelModelParams& params() const { return params_; }

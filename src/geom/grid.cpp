@@ -1,0 +1,93 @@
+#include "geom/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace uwb::geom {
+
+namespace {
+
+std::uint32_t lane(std::int32_t v) {
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+CellKey UniformGrid::pack(std::int32_t ix, std::int32_t iy) {
+  return static_cast<std::int64_t>(
+      (static_cast<std::uint64_t>(lane(ix)) << 32) |
+      static_cast<std::uint64_t>(lane(iy)));
+}
+
+std::int32_t UniformGrid::cell_ix(CellKey key) {
+  return static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(static_cast<std::uint64_t>(key) >> 32));
+}
+
+std::int32_t UniformGrid::cell_iy(CellKey key) {
+  return static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(static_cast<std::uint64_t>(key) & 0xFFFFFFFFull));
+}
+
+std::int32_t UniformGrid::coord(double v) const {
+  return static_cast<std::int32_t>(std::floor(v / cell_size_m_));
+}
+
+UniformGrid::UniformGrid(const std::vector<Vec2>& points, double cell_size_m)
+    : cell_size_m_(cell_size_m), point_count_(points.size()) {
+  UWB_EXPECTS(cell_size_m > 0.0);
+  std::vector<std::pair<CellKey, std::int32_t>> entries;
+  entries.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    entries.emplace_back(key_of(points[i]), static_cast<std::int32_t>(i));
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [key, index] : entries) {
+    if (cells_.empty() || cells_.back().key != key) {
+      cells_.push_back(Cell{key, {}});
+    }
+    cells_.back().indices.push_back(index);
+  }
+}
+
+CellKey UniformGrid::key_of(Vec2 p) const {
+  UWB_EXPECTS(cell_size_m_ > 0.0);
+  return pack(coord(p.x), coord(p.y));
+}
+
+const UniformGrid::Cell* UniformGrid::find(CellKey key) const {
+  auto it = std::lower_bound(
+      cells_.begin(), cells_.end(), key,
+      [](const Cell& c, CellKey k) { return c.key < k; });
+  if (it == cells_.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+void UniformGrid::neighborhood(Vec2 p, std::vector<std::int32_t>& out) const {
+  if (cells_.empty()) return;
+  const std::int32_t cx = coord(p.x);
+  const std::int32_t cy = coord(p.y);
+  const std::size_t first = out.size();
+  for (std::int32_t dx = -1; dx <= 1; ++dx) {
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      if (const Cell* cell = find(pack(cx + dx, cy + dy))) {
+        out.insert(out.end(), cell->indices.begin(), cell->indices.end());
+      }
+    }
+  }
+  // Cells were visited in (dx, dy) order, not index order; receivers must be
+  // scheduled in ascending node order to keep event tie-breaks stable.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
+}
+
+bool UniformGrid::in_neighborhood(Vec2 p, CellKey key) const {
+  const std::int32_t cx = coord(p.x);
+  const std::int32_t cy = coord(p.y);
+  const std::int32_t kx = cell_ix(key);
+  const std::int32_t ky = cell_iy(key);
+  return kx >= cx - 1 && kx <= cx + 1 && ky >= cy - 1 && ky <= cy + 1;
+}
+
+}  // namespace uwb::geom

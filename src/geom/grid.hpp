@@ -1,0 +1,71 @@
+// Uniform spatial grid over 2-D points (DESIGN.md Sect. 13).
+//
+// Buckets a fixed point set into square cells whose side equals the query
+// radius, so every point within Euclidean distance `cell_size_m` of a query
+// position lies in the 3x3 cell neighborhood around it. Cells are stored in
+// a flat vector sorted by packed cell key — deterministic iteration order,
+// binary-search lookup, no hashing and no pointer-chasing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace uwb::geom {
+
+/// Packed (ix, iy) integer cell coordinate: two 32-bit lanes in one key.
+/// Keys of adjacent cells are not adjacent numbers; use cell_ix/cell_iy to
+/// unpack.
+using CellKey = std::int64_t;
+
+class UniformGrid {
+ public:
+  /// One occupied cell: packed coordinate plus the indices (into the point
+  /// set the grid was built from) of the points it contains, ascending.
+  struct Cell {
+    CellKey key = 0;
+    std::vector<std::int32_t> indices;
+  };
+
+  /// An empty grid: no cells, every neighborhood query returns nothing.
+  UniformGrid() = default;
+
+  /// Bucket `points` into square cells of side `cell_size_m` (> 0).
+  UniformGrid(const std::vector<Vec2>& points, double cell_size_m);
+
+  double cell_size_m() const { return cell_size_m_; }
+  std::size_t point_count() const { return point_count_; }
+
+  /// Packed cell coordinate containing `p`.
+  CellKey key_of(Vec2 p) const;
+
+  /// Occupied cells, ascending by key.
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  /// Cell with exactly `key`, or nullptr when unoccupied.
+  const Cell* find(CellKey key) const;
+
+  /// Append the indices of every point in the 3x3 cell neighborhood of `p`
+  /// to `out`, in ascending index order. Guarantee: contains every point
+  /// within Euclidean distance cell_size_m of `p` (plus near misses from
+  /// the square cells).
+  void neighborhood(Vec2 p, std::vector<std::int32_t>& out) const;
+
+  /// True when cell `key` is one of the 9 neighborhood cells of `p`.
+  bool in_neighborhood(Vec2 p, CellKey key) const;
+
+  /// Pack / unpack cell coordinates (exposed for tests and reporting).
+  static CellKey pack(std::int32_t ix, std::int32_t iy);
+  static std::int32_t cell_ix(CellKey key);
+  static std::int32_t cell_iy(CellKey key);
+
+ private:
+  std::int32_t coord(double v) const;
+
+  double cell_size_m_ = 0.0;
+  std::size_t point_count_ = 0;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace uwb::geom

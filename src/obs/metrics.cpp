@@ -52,6 +52,17 @@ const HistogramBuckets& latency_buckets_ms() {
   return buckets;
 }
 
+const HistogramBuckets& fanout_buckets() {
+  // 0, 1, 2, 4, ... 2048: a broadcast in a small room lands in the low
+  // buckets; a building-scale unculled medium can reach every node.
+  static const HistogramBuckets buckets = [] {
+    HistogramBuckets b = HistogramBuckets::exponential(1.0, 2.0, 12);
+    b.uppers.insert(b.uppers.begin(), 0.0);
+    return b;
+  }();
+  return buckets;
+}
+
 Histogram::Histogram(HistogramBuckets buckets)
     : buckets_(std::move(buckets)),
       counts_(buckets_.uppers.size() + 1, 0) {

@@ -79,6 +79,10 @@ struct HistogramBuckets {
 /// factor-2 spacing.
 const HistogramBuckets& latency_buckets_ms();
 
+/// Bucket layout for per-frame delivery fan-out (receivers reached by one
+/// transmission): 0 .. 2048, factor-2 spacing above 1.
+const HistogramBuckets& fanout_buckets();
+
 /// Fixed-bucket histogram with exact count/sum/min/max and
 /// linearly-interpolated quantile estimates.
 class Histogram {

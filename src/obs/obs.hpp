@@ -59,6 +59,18 @@ inline constexpr bool kEnabled = false;
     uwb_obs_gauge_.set(static_cast<double>(value));                   \
   } while (false)
 
+/// Observe `value` in the thread-local histogram `name` (a string literal).
+/// `buckets` is a `const HistogramBuckets&` expression; the first execution
+/// per thread fixes the layout, so pass the same layout at every call site
+/// sharing a name.
+#define UWB_OBS_HISTOGRAM(name, buckets, value)                          \
+  do {                                                                   \
+    static thread_local ::uwb::obs::Histogram& uwb_obs_histogram_ =      \
+        ::uwb::obs::MetricsRegistry::instance().local_shard().histogram( \
+            name, buckets);                                              \
+    uwb_obs_histogram_.observe(static_cast<double>(value));              \
+  } while (false)
+
 #else  // UWB_OBS_DISABLED
 
 #define UWB_OBS_SPAN(name) \
@@ -69,6 +81,9 @@ inline constexpr bool kEnabled = false;
   } while (false)
 #define UWB_OBS_GAUGE_SET(name, value) \
   do {                                 \
+  } while (false)
+#define UWB_OBS_HISTOGRAM(name, buckets, value) \
+  do {                                          \
   } while (false)
 
 #endif  // UWB_OBS_DISABLED

@@ -207,6 +207,8 @@ class ConcurrentRangingScenario {
   sim::Node& initiator_node() { return *initiator_; }
   sim::Node& responder_node(int responder_id);
   sim::Simulator& simulator() { return sim_; }
+  sim::Medium& medium() { return *medium_; }
+  const sim::Medium& medium() const { return *medium_; }
   const ScenarioConfig& config() const { return config_; }
   const SearchSubtractDetector& detector() const { return detector_; }
 

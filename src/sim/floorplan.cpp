@@ -1,0 +1,110 @@
+#include "sim/floorplan.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/expects.hpp"
+#include "common/random.hpp"
+
+namespace uwb::sim {
+
+namespace {
+
+/// Stream index separating node placement from every other consumer of a
+/// scenario seed.
+constexpr std::uint64_t kPlacementSeedStream = 0xF100A901;
+
+/// Add one partition line as Obstacle segments, leaving a centered doorway
+/// gap in each per-room span. `fixed` is the coordinate along the partition
+/// normal; spans run along the other axis in steps of `span_m`.
+void add_partition(geom::Room& room, bool vertical, double fixed, int spans,
+                   double span_m, double doorway_m, double loss_db,
+                   const std::string& name) {
+  const double solid = (span_m - doorway_m) / 2.0;
+  for (int i = 0; i < spans; ++i) {
+    const double lo = span_m * i;
+    const auto seg = [&](double a, double b) {
+      geom::Obstacle o;
+      o.segment = vertical ? geom::Segment{{fixed, a}, {fixed, b}}
+                           : geom::Segment{{a, fixed}, {b, fixed}};
+      o.transmission_loss_db = loss_db;
+      o.name = name;
+      room.add_obstacle(o);
+    };
+    seg(lo, lo + solid);
+    seg(lo + solid + doorway_m, lo + span_m);
+  }
+}
+
+}  // namespace
+
+geom::Vec2 FloorPlan::room_center(int index) const {
+  UWB_EXPECTS(index >= 0 && index < room_count());
+  const int ix = index % config.rooms_x;
+  const int iy = index / config.rooms_x;
+  return {(ix + 0.5) * config.room_w_m, (iy + 0.5) * config.room_h_m};
+}
+
+FloorPlan make_floor_plan(const FloorPlanConfig& config) {
+  UWB_EXPECTS(config.rooms_x >= 1 && config.rooms_y >= 1);
+  UWB_EXPECTS(config.room_w_m > 0.0 && config.room_h_m > 0.0);
+  UWB_EXPECTS(config.doorway_m > 0.0 &&
+              config.doorway_m < config.room_w_m &&
+              config.doorway_m < config.room_h_m);
+  UWB_EXPECTS(config.placement_margin_m >= 0.0 &&
+              2.0 * config.placement_margin_m < config.room_w_m &&
+              2.0 * config.placement_margin_m < config.room_h_m);
+
+  FloorPlan plan;
+  plan.config = config;
+  plan.room = geom::Room::rectangular(config.room_w_m * config.rooms_x,
+                                      config.room_h_m * config.rooms_y,
+                                      config.outer_reflection_loss_db);
+  for (int ix = 1; ix < config.rooms_x; ++ix) {
+    add_partition(plan.room, /*vertical=*/true, config.room_w_m * ix,
+                  config.rooms_y, config.room_h_m, config.doorway_m,
+                  config.partition_loss_db,
+                  "partition_x" + std::to_string(ix));
+  }
+  for (int iy = 1; iy < config.rooms_y; ++iy) {
+    add_partition(plan.room, /*vertical=*/false, config.room_h_m * iy,
+                  config.rooms_x, config.room_w_m, config.doorway_m,
+                  config.partition_loss_db,
+                  "partition_y" + std::to_string(iy));
+  }
+  return plan;
+}
+
+FloorPlanConfig plan_for_nodes(int node_count, double nodes_per_room) {
+  UWB_EXPECTS(node_count >= 1);
+  UWB_EXPECTS(nodes_per_room > 0.0);
+  const int rooms = std::max(
+      1, static_cast<int>(std::ceil(node_count / nodes_per_room)));
+  FloorPlanConfig config;
+  config.rooms_x =
+      std::max(1, static_cast<int>(std::ceil(std::sqrt(rooms))));
+  config.rooms_y = (rooms + config.rooms_x - 1) / config.rooms_x;
+  return config;
+}
+
+std::vector<geom::Vec2> place_nodes(const FloorPlan& plan, int count,
+                                    std::uint64_t seed) {
+  UWB_EXPECTS(count >= 0);
+  Rng rng(derive_seed(seed, kPlacementSeedStream));
+  const FloorPlanConfig& c = plan.config;
+  std::vector<geom::Vec2> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int room_index = i % plan.room_count();
+    const int ix = room_index % c.rooms_x;
+    const int iy = room_index / c.rooms_x;
+    const double x = rng.uniform(c.room_w_m * ix + c.placement_margin_m,
+                                 c.room_w_m * (ix + 1) - c.placement_margin_m);
+    const double y = rng.uniform(c.room_h_m * iy + c.placement_margin_m,
+                                 c.room_h_m * (iy + 1) - c.placement_margin_m);
+    out.push_back({x, y});
+  }
+  return out;
+}
+
+}  // namespace uwb::sim

@@ -1,72 +1,199 @@
 #include "sim/medium.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/expects.hpp"
+#include "obs/obs.hpp"
 #include "sim/node.hpp"
 
 namespace uwb::sim {
 
+namespace {
+
+/// Stream index of one directed link inside a frame's seed space: the two
+/// node ids packed into disjoint 32-bit lanes.
+std::uint64_t link_stream(int tx_node_id, int rx_node_id) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tx_node_id))
+          << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(rx_node_id));
+}
+
+}  // namespace
+
 Medium::Medium(Simulator& simulator, channel::ChannelModel model,
                MediumParams params, Rng rng)
-    : sim_(simulator), model_(std::move(model)), params_(params),
-      rng_(std::move(rng)) {
+    : sim_(simulator), model_(std::move(model)), params_(params) {
   UWB_EXPECTS(params.detection_threshold_amp >= 0.0);
+  // One draw anchors the whole per-(link, frame) seed hierarchy; the Rng
+  // itself is not kept, so no shared mutable stream survives construction.
+  channel_stream_base_ = rng.engine()();
+  interference_radius_m_ =
+      params_.interference_radius_m > 0.0
+          ? params_.interference_radius_m
+          : model_
+                .max_detectable_range(params_.detection_threshold_amp,
+                                      params_.range_margin_db)
+                .value();
+}
+
+bool Medium::culling_active() const {
+  return params_.culling_enabled && std::isfinite(interference_radius_m_) &&
+         interference_radius_m_ > 0.0;
 }
 
 void Medium::register_node(Node& node) {
-  const auto [it, inserted] = nodes_.emplace(node.id(), &node);
-  (void)it;
-  UWB_EXPECTS(inserted);  // ids must be unique
+  const auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), node.id(),
+      [](const Node* n, int id) { return n->id() < id; });
+  UWB_EXPECTS(it == nodes_.end() || (*it)->id() != node.id());  // unique ids
+  nodes_.insert(it, &node);
+  spatial_dirty_ = true;
+}
+
+void Medium::ensure_spatial_index() {
+  if (!spatial_dirty_) return;
+  spatial_dirty_ = false;
+  if (!culling_active()) {
+    grid_ = geom::UniformGrid{};
+    return;
+  }
+  std::vector<geom::Vec2> positions;
+  positions.reserve(nodes_.size());
+  for (const Node* n : nodes_) positions.push_back(n->position());
+  grid_ = geom::UniformGrid(positions, interference_radius_m_);
+}
+
+const geom::UniformGrid& Medium::spatial_index() {
+  ensure_spatial_index();
+  return grid_;
+}
+
+CellTraffic& Medium::cell_traffic_entry(geom::CellKey key) {
+  auto it = std::lower_bound(
+      cell_traffic_.begin(), cell_traffic_.end(), key,
+      [](const CellTraffic& c, geom::CellKey k) { return c.key < k; });
+  if (it == cell_traffic_.end() || it->key != key) {
+    it = cell_traffic_.insert(it, CellTraffic{key, 0, 0});
+  }
+  return *it;
+}
+
+bool Medium::deliver(Node& rx, int tx_node_id, geom::Vec2 tx_pos,
+                     std::uint64_t frame_seed, const dw::MacFrame& frame,
+                     std::uint8_t tc_pgdelay, SimTime preamble_start,
+                     SimTime shr_sim, SimTime frame_sim, double tx_drift_ppm,
+                     fault::FaultInjector* injector) {
+  // Independent stream per (link, frame): the draw sequence of this link
+  // cannot depend on which other receivers were realized before it.
+  Rng link_rng(derive_seed(frame_seed, link_stream(tx_node_id, rx.id())));
+  channel::ChannelRealization ch =
+      model_.realize(tx_pos, rx.position(), link_rng);
+  ++stats_.channels_realized;
+
+  // The receiver's preamble detector locks to the earliest path that is
+  // strong enough; frames with no detectable path are out of range.
+  const channel::Tap* first = nullptr;
+  for (const channel::Tap& tap : ch.taps) {
+    if (std::abs(tap.amplitude) >= params_.detection_threshold_amp) {
+      first = &tap;
+      break;
+    }
+  }
+  if (first == nullptr) {
+    ++stats_.below_threshold;
+    return false;
+  }
+
+  AirFrame af;
+  af.tx_node_id = tx_node_id;
+  af.frame = frame;
+  af.tc_pgdelay = tc_pgdelay;
+  af.tx_drift_ppm = tx_drift_ppm;
+  af.taps = std::move(ch.taps);
+  af.first_detectable_delay = Seconds(first->delay_s);
+  af.first_path_amplitude = std::abs(first->amplitude);
+  af.preamble_start_arrival =
+      preamble_start + SimTime::from_seconds(first->delay_s);
+  af.rmarker_arrival = af.preamble_start_arrival + shr_sim;
+  af.frame_end_arrival = af.preamble_start_arrival + frame_sim;
+  if (injector != nullptr)
+    af.preamble_missed =
+        injector->miss_preamble(rx.id(), af.first_path_amplitude);
+
+  if (delivery_probe_) delivery_probe_(rx.id(), af);
+
+  Node* target = &rx;
+  sim_.at(af.preamble_start_arrival, [target, af = std::move(af)]() mutable {
+    target->on_air_frame(std::move(af));
+  });
+  ++stats_.frames_delivered;
+  return true;
 }
 
 void Medium::transmit(int tx_node_id, const dw::MacFrame& frame,
                       std::uint8_t tc_pgdelay, SimTime preamble_start,
                       Seconds shr_duration, Seconds frame_duration,
                       double tx_drift_ppm) {
-  const auto tx_it = nodes_.find(tx_node_id);
-  UWB_EXPECTS(tx_it != nodes_.end());
-  const geom::Vec2 tx_pos = tx_it->second->position();
+  const auto tx_it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), tx_node_id,
+      [](const Node* n, int id) { return n->id() < id; });
+  UWB_EXPECTS(tx_it != nodes_.end() && (*tx_it)->id() == tx_node_id);
+  const geom::Vec2 tx_pos = (*tx_it)->position();
 
-  for (auto& [rx_id, rx_node] : nodes_) {
-    if (rx_id == tx_node_id) continue;
-    channel::ChannelRealization ch =
-        model_.realize(tx_pos, rx_node->position(), rng_);
+  // Advance the frame stream unconditionally so culled and unculled runs
+  // agree on every frame's seed.
+  const std::uint64_t frame_seed =
+      derive_seed(channel_stream_base_, frame_seq_++);
+  ++stats_.frames_transmitted;
 
-    // The receiver's preamble detector locks to the earliest path that is
-    // strong enough; frames with no detectable path are out of range.
-    const channel::Tap* first = nullptr;
-    for (const channel::Tap& tap : ch.taps) {
-      if (std::abs(tap.amplitude) >= params_.detection_threshold_amp) {
-        first = &tap;
-        break;
+  // Loop-invariant across receivers: time conversions and the injector.
+  const SimTime shr_sim = to_sim_time(shr_duration);
+  const SimTime frame_sim = to_sim_time(frame_duration);
+  fault::FaultInjector* const injector = fault_;
+
+  std::uint64_t delivered = 0;
+  std::uint64_t culled = 0;
+
+  ensure_spatial_index();
+  if (culling_active()) {
+    candidates_.clear();
+    grid_.neighborhood(tx_pos, candidates_);
+    for (const std::int32_t idx : candidates_) {
+      Node& rx = *nodes_[static_cast<std::size_t>(idx)];
+      if (rx.id() == tx_node_id) continue;
+      if (deliver(rx, tx_node_id, tx_pos, frame_seed, frame, tc_pgdelay,
+                  preamble_start, shr_sim, frame_sim, tx_drift_ppm,
+                  injector)) {
+        ++delivered;
+        ++cell_traffic_entry(grid_.key_of(rx.position())).delivered;
       }
     }
-    if (first == nullptr) continue;
-
-    AirFrame af;
-    af.tx_node_id = tx_node_id;
-    af.frame = frame;
-    af.tc_pgdelay = tc_pgdelay;
-    af.tx_drift_ppm = tx_drift_ppm;
-    af.taps = ch.taps;
-    af.first_detectable_delay = Seconds(first->delay_s);
-    af.first_path_amplitude = std::abs(first->amplitude);
-    af.preamble_start_arrival =
-        preamble_start + SimTime::from_seconds(first->delay_s);
-    af.rmarker_arrival = af.preamble_start_arrival + to_sim_time(shr_duration);
-    af.frame_end_arrival =
-        af.preamble_start_arrival + to_sim_time(frame_duration);
-    if (fault_ != nullptr)
-      af.preamble_missed =
-          fault_->miss_preamble(rx_id, af.first_path_amplitude);
-
-    Node* target = rx_node;
-    sim_.at(af.preamble_start_arrival,
-            [target, af = std::move(af)]() mutable {
-              target->on_air_frame(std::move(af));
-            });
+    // Everything outside the 3x3 neighborhood is skipped wholesale —
+    // account it per cell (cells, not nodes, so this stays O(occupied
+    // cells) per frame).
+    for (const geom::UniformGrid::Cell& cell : grid_.cells()) {
+      if (grid_.in_neighborhood(tx_pos, cell.key)) continue;
+      const auto n = static_cast<std::uint64_t>(cell.indices.size());
+      culled += n;
+      cell_traffic_entry(cell.key).culled += n;
+    }
+    stats_.receivers_culled += culled;
+  } else {
+    for (Node* rx : nodes_) {
+      if (rx->id() == tx_node_id) continue;
+      if (deliver(*rx, tx_node_id, tx_pos, frame_seed, frame, tc_pgdelay,
+                  preamble_start, shr_sim, frame_sim, tx_drift_ppm,
+                  injector)) {
+        ++delivered;
+      }
+    }
   }
+
+  UWB_OBS_COUNT("medium_frames_delivered", delivered);
+  UWB_OBS_COUNT("medium_receivers_culled", culled);
+  UWB_OBS_HISTOGRAM("medium_frame_fanout", ::uwb::obs::fanout_buckets(),
+                    delivered);
 }
 
 }  // namespace uwb::sim

@@ -1,14 +1,25 @@
-// Shared radio medium.
+// Shared radio medium with spatial interference culling (DESIGN.md Sect. 13).
 //
-// Propagates every transmission to every other registered node through the
-// channel model (drawing a fresh channel realisation per link per frame) and
-// delivers an AirFrame carrying the full tap list. Receivers superpose
+// Propagates every transmission through the channel model (drawing a fresh
+// channel realisation per link per frame) and delivers an AirFrame carrying
+// the full tap list to each receiver that can detect it. Receivers superpose
 // overlapping AirFrames into one CIR — the physical mechanism behind
 // concurrent ranging.
+//
+// Scaling: a conservative interference radius is derived from the channel
+// model (the maximum range at which any tap can still reach
+// `detection_threshold_amp`), nodes are bucketed into a uniform grid of
+// cells with that side length, and `transmit` realizes channels only for
+// the 3x3 cell neighborhood of the transmitter — O(local density) instead
+// of O(N) per frame. Channel randomness comes from a per-(link, frame)
+// stream forked with derive_seed (the same pattern src/fault uses for
+// per-node fault streams), so culling a far-away receiver never perturbs
+// the draws of the receivers that remain: culled and unculled runs are
+// bit-identical for every delivered frame, at any thread count.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <vector>
 
 #include "channel/channel_model.hpp"
@@ -17,6 +28,7 @@
 #include "dw1000/frame.hpp"
 #include "dw1000/phy_config.hpp"
 #include "fault/fault.hpp"
+#include "geom/grid.hpp"
 #include "sim/simulator.hpp"
 
 namespace uwb::sim {
@@ -53,6 +65,39 @@ struct AirFrame {
 struct MediumParams {
   /// Minimum tap amplitude for the receiver's preamble detector to lock.
   double detection_threshold_amp = 0.02;
+  /// Skip receivers outside the interference radius without realizing
+  /// their channels. Bit-identical to the unculled medium for every
+  /// delivered frame (the skipped receivers could never detect a tap).
+  bool culling_enabled = true;
+  /// Interference radius override [m]. <= 0 derives the radius from the
+  /// channel model via ChannelModel::max_detectable_range.
+  double interference_radius_m = 0.0;
+  /// Fading headroom used when deriving the radius [dB]: covers the
+  /// unbounded specular fading draw (16 dB = 16 sigma at the default
+  /// 1 dB fading).
+  double range_margin_db = 16.0;
+};
+
+/// Cumulative frame-traffic totals since construction.
+struct MediumStats {
+  std::uint64_t frames_transmitted = 0;
+  /// AirFrames scheduled for delivery (detectable first path).
+  std::uint64_t frames_delivered = 0;
+  /// Receivers skipped wholesale by the spatial index.
+  std::uint64_t receivers_culled = 0;
+  /// Channel realisations actually drawn.
+  std::uint64_t channels_realized = 0;
+  /// Channels realized whose taps all fell below the detection threshold.
+  std::uint64_t below_threshold = 0;
+};
+
+/// Delivered/culled traffic attributed to one grid cell (keyed by the
+/// receiver's cell). Keys are geographic, so counts survive index rebuilds
+/// when nodes register or move.
+struct CellTraffic {
+  geom::CellKey key = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t culled = 0;
 };
 
 class Medium {
@@ -82,13 +127,71 @@ class Medium {
   }
   fault::FaultInjector* fault_injector() const { return fault_; }
 
+  /// Resolved interference radius [m]; +infinity when the channel model
+  /// admits no finite bound.
+  double interference_radius_m() const { return interference_radius_m_; }
+
+  /// True when transmissions actually go through the spatial index
+  /// (culling enabled and a finite radius exists).
+  bool culling_active() const;
+
+  /// Mark the spatial index stale (a node moved). Rebuilt lazily on the
+  /// next transmit.
+  void invalidate_spatial_index() { spatial_dirty_ = true; }
+
+  /// The spatial index over current node positions (rebuilt if stale).
+  /// Empty when culling is inactive.
+  const geom::UniformGrid& spatial_index();
+
+  const MediumStats& stats() const { return stats_; }
+  /// Per-cell delivered/culled counts, ascending by cell key. Empty when
+  /// culling is inactive.
+  const std::vector<CellTraffic>& cell_traffic() const { return cell_traffic_; }
+
+  /// Test hook: observe every AirFrame at the instant it is scheduled
+  /// (before delivery). Used by the culling-identity tests.
+  void set_delivery_probe(
+      std::function<void(int rx_node_id, const AirFrame&)> probe) {
+    delivery_probe_ = std::move(probe);
+  }
+
  private:
+  void ensure_spatial_index();
+  /// Realize the link and schedule the AirFrame; true when delivered.
+  bool deliver(Node& rx, int tx_node_id, geom::Vec2 tx_pos,
+               std::uint64_t frame_seed, const dw::MacFrame& frame,
+               std::uint8_t tc_pgdelay, SimTime preamble_start,
+               SimTime shr_sim, SimTime frame_sim, double tx_drift_ppm,
+               fault::FaultInjector* injector);
+  CellTraffic& cell_traffic_entry(geom::CellKey key);
+
   Simulator& sim_;
   channel::ChannelModel model_;
   MediumParams params_;
-  Rng rng_;
-  std::map<int, Node*> nodes_;
   fault::FaultInjector* fault_ = nullptr;
+
+  /// Base of the per-(link, frame) channel seed hierarchy: one draw from
+  /// the Rng the medium was constructed with, so existing scenario seeding
+  /// (session forks its master Rng into the medium) keeps working.
+  std::uint64_t channel_stream_base_ = 0;
+  /// Frames transmitted so far — the per-frame stream index. Identical
+  /// between culled and unculled runs because culling never changes which
+  /// frames get sent.
+  std::uint64_t frame_seq_ = 0;
+
+  /// Registry sorted by node id: deterministic iteration, binary-search
+  /// lookup, contiguous walk in the per-frame hot path.
+  std::vector<Node*> nodes_;
+
+  double interference_radius_m_ = 0.0;
+  bool spatial_dirty_ = true;
+  geom::UniformGrid grid_;
+  /// Scratch for neighborhood queries (avoids per-frame allocation).
+  std::vector<std::int32_t> candidates_;
+
+  MediumStats stats_;
+  std::vector<CellTraffic> cell_traffic_;
+  std::function<void(int, const AirFrame&)> delivery_probe_;
 };
 
 }  // namespace uwb::sim

@@ -140,7 +140,10 @@ class Node {
 
   int id() const { return config_.id; }
   geom::Vec2 position() const { return config_.position; }
-  void set_position(geom::Vec2 p) { config_.position = p; }
+  void set_position(geom::Vec2 p) {
+    config_.position = p;
+    medium_.invalidate_spatial_index();
+  }
   const dw::PhyConfig& phy() const { return config_.phy; }
   void set_tc_pgdelay(std::uint8_t reg) { config_.phy.tc_pgdelay = reg; }
   const dw::ClockModel& clock() const { return clock_; }

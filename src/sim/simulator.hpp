@@ -34,6 +34,10 @@ class Simulator {
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t dispatched() const { return dispatched_; }
 
+  /// Pre-size the event heap (large scenarios schedule thousands of
+  /// deliveries per round; this avoids repeated regrowth).
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
+
  private:
   struct Event {
     SimTime time;
@@ -45,9 +49,15 @@ class Simulator {
     }
   };
 
+  /// priority_queue with access to the underlying vector's capacity.
+  struct EventQueue
+      : std::priority_queue<Event, std::vector<Event>, std::greater<>> {
+    void reserve(std::size_t n) { c.reserve(n); }
+  };
+
   void dispatch_one();
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  EventQueue queue_;
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
