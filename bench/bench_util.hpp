@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
 #include "ranging/session.hpp"
@@ -36,13 +37,17 @@ namespace uwb::bench {
 /// Command-line options shared by every bench binary.
 struct BenchOptions {
   int trials = 0;
-  int threads = 0;         // 0 = hardware concurrency
-  std::string json_path;   // empty = no JSON output
-  std::string trace_path;  // empty = tracing off
+  int threads = 0;          // 0 = hardware concurrency
+  std::string json_path;    // empty = no JSON output
+  std::string trace_path;   // empty = tracing off
+  std::string metrics_path; // empty = no Prometheus metrics file
+  std::string flight_record_path;  // empty = flight recorder off
 };
 
-/// Parse `--trials N`, `--threads N`, `--json PATH`, and `--trace PATH`
-/// (the latter turns on span tracing process-wide).
+/// Parse `--trials N`, `--threads N`, `--json PATH`, `--trace PATH` (turns
+/// on span tracing process-wide), `--metrics PATH` (Prometheus text dump of
+/// the merged metrics snapshot), and `--flight-record PATH` (turns on the
+/// flight recorder process-wide; JSONL written by write_if_requested).
 inline BenchOptions parse_options(int argc, char** argv, int default_trials) {
   BenchOptions opts;
   opts.trials = default_trials;
@@ -58,6 +63,11 @@ inline BenchOptions parse_options(int argc, char** argv, int default_trials) {
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       opts.trace_path = argv[++i];
       obs::set_tracing_enabled(true);
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      opts.metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight-record") == 0 && i + 1 < argc) {
+      opts.flight_record_path = argv[++i];
+      obs::FlightRecorder::set_enabled(true);
     }
   }
   return opts;
@@ -126,6 +136,33 @@ class JsonReport {
         std::printf("[trace written to %s]\n", opts.trace_path.c_str());
       } else {
         std::fprintf(stderr, "cannot write %s\n", opts.trace_path.c_str());
+        ok = false;
+      }
+    }
+    if (!opts.metrics_path.empty()) {
+      const std::string text =
+          obs::MetricsRegistry::instance().aggregate().to_prometheus();
+      std::FILE* f = std::fopen(opts.metrics_path.c_str(), "w");
+      bool wrote = false;
+      if (f != nullptr) {
+        wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+        wrote = std::fclose(f) == 0 && wrote;
+      }
+      if (wrote) {
+        std::printf("[metrics written to %s]\n", opts.metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", opts.metrics_path.c_str());
+        ok = false;
+      }
+    }
+    if (!opts.flight_record_path.empty()) {
+      if (obs::FlightRecorder::instance().write_jsonl(
+              opts.flight_record_path)) {
+        std::printf("[flight recording written to %s]\n",
+                    opts.flight_record_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n",
+                     opts.flight_record_path.c_str());
         ok = false;
       }
     }

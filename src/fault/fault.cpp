@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/expects.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace uwb::fault {
@@ -63,7 +64,8 @@ void FaultInjector::begin_round() {
   }
 }
 
-bool FaultInjector::miss_preamble(int rx_node_id, double first_path_amplitude) {
+bool FaultInjector::miss_preamble(int rx_node_id, double first_path_amplitude,
+                                  std::uint64_t chain) {
   if (!active_ || plan_.preamble_miss_prob <= 0.0) return false;
   double p = plan_.preamble_miss_prob;
   if (plan_.preamble_snr_exponent > 0.0 && first_path_amplitude > 0.0) {
@@ -74,14 +76,20 @@ bool FaultInjector::miss_preamble(int rx_node_id, double first_path_amplitude) {
   if (!state(rx_node_id).rng.chance(p)) return false;
   ++counters_.preamble_miss;
   UWB_OBS_COUNT("fault_injected_preamble_miss", 1);
+  UWB_FR_EVENT(.kind = obs::FrKind::kFault, .name = "preamble_miss",
+               .chain = chain, .node = rx_node_id,
+               .v0 = {"first_path_amp", first_path_amplitude},
+               .v1 = {"miss_prob", p});
   return true;
 }
 
-bool FaultInjector::corrupt_crc(int rx_node_id) {
+bool FaultInjector::corrupt_crc(int rx_node_id, std::uint64_t chain) {
   if (!active_ || plan_.crc_error_prob <= 0.0) return false;
   if (!state(rx_node_id).rng.chance(plan_.crc_error_prob)) return false;
   ++counters_.crc_error;
   UWB_OBS_COUNT("fault_injected_crc_error", 1);
+  UWB_FR_EVENT(.kind = obs::FrKind::kFault, .name = "crc_error",
+               .chain = chain, .node = rx_node_id);
   return true;
 }
 
@@ -90,6 +98,10 @@ bool FaultInjector::abort_delayed_tx(int tx_node_id) {
   if (!state(tx_node_id).rng.chance(plan_.late_tx_abort_prob)) return false;
   ++counters_.late_tx_abort;
   UWB_OBS_COUNT("fault_injected_late_tx_abort", 1);
+  // Chain comes from the recorder context: the session arms the delayed TX
+  // inside the chain scope of the frame being answered.
+  UWB_FR_EVENT(.kind = obs::FrKind::kFault, .name = "late_tx_abort",
+               .node = tx_node_id);
   return true;
 }
 
@@ -105,6 +117,10 @@ bool FaultInjector::responder_muted(int node_id) {
     if (st.mute_rounds_left > 0) {
       ++counters_.dropout_rounds;
       UWB_OBS_COUNT("fault_injected_dropout_round", 1);
+      UWB_FR_EVENT(.kind = obs::FrKind::kFault, .name = "dropout_mute",
+                   .node = node_id,
+                   .v0 = {"rounds_left",
+                          static_cast<double>(st.mute_rounds_left)});
     }
   }
   return st.mute_rounds_left > 0;
@@ -112,7 +128,12 @@ bool FaultInjector::responder_muted(int node_id) {
 
 double FaultInjector::reply_jitter_s(int node_id) {
   if (!active_ || plan_.reply_jitter_sigma_s <= 0.0) return 0.0;
-  return state(node_id).rng.normal(0.0, plan_.reply_jitter_sigma_s);
+  const double jitter = state(node_id).rng.normal(0.0, plan_.reply_jitter_sigma_s);
+  if (jitter != 0.0) {
+    UWB_FR_EVENT(.kind = obs::FrKind::kFault, .name = "reply_jitter",
+                 .node = node_id, .v0 = {"jitter_s", jitter});
+  }
+  return jitter;
 }
 
 FaultInjector::ClockGlitch FaultInjector::clock_glitch(int node_id) {
@@ -124,6 +145,8 @@ FaultInjector::ClockGlitch FaultInjector::clock_glitch(int node_id) {
       g.drift_step_ppm = st.rng.normal(0.0, plan_.drift_step_sigma_ppm);
       ++counters_.clock_drift_step;
       UWB_OBS_COUNT("fault_injected_clock_drift_step", 1);
+      UWB_FR_EVENT(.kind = obs::FrKind::kFault, .name = "clock_drift_step",
+                   .node = node_id, .v0 = {"step_ppm", g.drift_step_ppm});
     }
   }
   if (plan_.epoch_jump_prob > 0.0) {
@@ -133,6 +156,8 @@ FaultInjector::ClockGlitch FaultInjector::clock_glitch(int node_id) {
           st.rng.uniform(-plan_.epoch_jump_max_s, plan_.epoch_jump_max_s);
       ++counters_.clock_epoch_jump;
       UWB_OBS_COUNT("fault_injected_clock_epoch_jump", 1);
+      UWB_FR_EVENT(.kind = obs::FrKind::kFault, .name = "clock_epoch_jump",
+                   .node = node_id, .v0 = {"jump_s", g.epoch_jump_s});
     }
   }
   return g;

@@ -123,11 +123,14 @@ class FaultInjector {
   void begin_round();
 
   /// Should `rx_node_id`'s preamble detector miss a frame whose first
-  /// detectable path has `first_path_amplitude`?
-  bool miss_preamble(int rx_node_id, double first_path_amplitude);
+  /// detectable path has `first_path_amplitude`? `chain` tags the injected
+  /// miss with the causal chain id of the frame it killed (flight recorder).
+  bool miss_preamble(int rx_node_id, double first_path_amplitude,
+                     std::uint64_t chain = 0);
 
   /// Should `rx_node_id` deliver the just-decoded payload with a bad FCS?
-  bool corrupt_crc(int rx_node_id);
+  /// `chain` tags the injected error with the frame it corrupted.
+  bool corrupt_crc(int rx_node_id, std::uint64_t chain = 0);
 
   /// Should `tx_node_id`'s armed delayed TX abort with HPDWARN?
   bool abort_delayed_tx(int tx_node_id);

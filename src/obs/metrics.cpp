@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <map>
 
@@ -202,6 +203,74 @@ const Snapshot::SpanTotal* Snapshot::span(std::string_view name) const {
   for (const SpanTotal& s : spans)
     if (s.name == name) return &s;
   return nullptr;
+}
+
+namespace {
+
+std::string prom_name(std::string_view name) {
+  std::string out = "uwb_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prom_number(double v) {
+  if (v != v) return "NaN";
+  if (v > 1.7976931348623157e308) return "+Inf";
+  if (v < -1.7976931348623157e308) return "-Inf";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void prom_scalar(std::string& out, const std::string& name, const char* type,
+                 const std::string& value) {
+  out += "# TYPE " + name + " " + type + "\n";
+  out += name + " " + value + "\n";
+}
+
+}  // namespace
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  char buf[64];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    prom_scalar(out, prom_name(name), "counter", buf);
+  }
+  for (const auto& [name, value] : gauges)
+    prom_scalar(out, prom_name(name), "gauge", prom_number(value));
+  for (const auto& [name, h] : histograms) {
+    const std::string metric = prom_name(name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    const auto& uppers = h.buckets().uppers;
+    for (std::size_t i = 0; i <= uppers.size(); ++i) {
+      cumulative += h.bucket_count(i);
+      const std::string le =
+          i < uppers.size() ? prom_number(uppers[i]) : "+Inf";
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(cumulative));
+      out += metric + "_bucket{le=\"" + le + "\"} " + buf + "\n";
+    }
+    out += metric + "_sum " + prom_number(h.sum()) + "\n";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(h.count()));
+    out += metric + "_count " + std::string(buf) + "\n";
+  }
+  for (const SpanTotal& s : spans) {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(s.count));
+    prom_scalar(out, prom_name("span_" + s.name + "_calls_total"), "counter",
+                buf);
+    prom_scalar(out, prom_name("span_" + s.name + "_ms_total"), "counter",
+                prom_number(s.total_ms));
+  }
+  return out;
 }
 
 MetricsRegistry& MetricsRegistry::instance() {

@@ -223,6 +223,14 @@ struct Snapshot {
   const Histogram* histogram(std::string_view name) const;
   /// Merged span totals (nullptr if never recorded).
   const SpanTotal* span(std::string_view name) const;
+
+  /// Prometheus text exposition (format 0.0.4) of the snapshot: counters
+  /// and gauges as scalars, histograms with cumulative `_bucket{le=...}`
+  /// series plus `_sum`/`_count`, span totals as `_calls_total`/`_ms_total`
+  /// counter pairs. Metric names are prefixed `uwb_` and sanitized to
+  /// [a-zA-Z0-9_:]. Deterministic: names sorted (Snapshot order), numbers
+  /// printed with %.17g.
+  std::string to_prometheus() const;
 };
 
 class MetricsRegistry {

@@ -10,6 +10,7 @@
 
 #include "common/expects.hpp"
 #include "common/hash.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "dsp/fft.hpp"
@@ -264,11 +265,20 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_exact(
     // the accumulator noise, so the matched-filter noise gain must be
     // measured, not assumed white); never stop by absolute power bounds.
     const double noise = dsp::noise_sigma_estimate(best_y);
+    const bool below_noise =
+        best.mag < config_.noise_threshold_factor * noise;
     const bool below =
-        best.mag < config_.noise_threshold_factor * noise ||
-        (strongest > 0.0 &&
-         best.mag < config_.relative_stop_fraction * strongest);
+        below_noise || (strongest > 0.0 &&
+                        best.mag < config_.relative_stop_fraction * strongest);
     if (below) {
+      UWB_FR_EVENT(.kind = obs::FrKind::kDetect, .name = "peak_rejected",
+                   .detail = below_noise ? "below_noise" : "relative_stop",
+                   .v0 = {"mag", best.mag},
+                   .v1 = {"threshold",
+                          below_noise
+                              ? config_.noise_threshold_factor * noise
+                              : config_.relative_stop_fraction * strongest},
+                   .v2 = {"shape", static_cast<double>(best.shape)});
       // The rejected final output still belongs to the trace (it is what
       // shows the residual has hit the noise floor).
       if (trace) trace->mf_outputs.push_back(std::move(best_y));
@@ -298,6 +308,11 @@ std::vector<DetectedResponse> SearchSubtractDetector::detect_exact(
     resp.amplitude = amp_at_peak;
     resp.shape_index =
         config_.shape_registers.size() > 1 ? best.shape : -1;
+    UWB_FR_EVENT(.kind = obs::FrKind::kDetect, .name = "peak_accepted",
+                 .v0 = {"mag", best.mag},
+                 .v1 = {"threshold", config_.noise_threshold_factor * noise},
+                 .v2 = {"tau_s", resp.tau_s},
+                 .v3 = {"shape", static_cast<double>(best.shape)});
     found.push_back(resp);
 
     // Step 5: subtract the estimated response, evaluating the analytic pulse
@@ -447,10 +462,22 @@ std::vector<DetectedResponse> SearchSubtractDetector::search_loop(
     best.mag = std::abs(best_y[best.index]);
 
     const double noise = dsp::noise_sigma_estimate(best_y);
-    if (best.mag < config_.noise_threshold_factor * noise) break;
-    if (strongest > 0.0 &&
-        best.mag < config_.relative_stop_fraction * strongest)
+    if (best.mag < config_.noise_threshold_factor * noise) {
+      UWB_FR_EVENT(.kind = obs::FrKind::kDetect, .name = "peak_rejected",
+                   .detail = "below_noise", .v0 = {"mag", best.mag},
+                   .v1 = {"threshold", config_.noise_threshold_factor * noise},
+                   .v2 = {"shape", static_cast<double>(best.shape)});
       break;
+    }
+    if (strongest > 0.0 &&
+        best.mag < config_.relative_stop_fraction * strongest) {
+      UWB_FR_EVENT(.kind = obs::FrKind::kDetect, .name = "peak_rejected",
+                   .detail = "relative_stop", .v0 = {"mag", best.mag},
+                   .v1 = {"threshold",
+                          config_.relative_stop_fraction * strongest},
+                   .v2 = {"shape", static_cast<double>(best.shape)});
+      break;
+    }
     strongest = std::max(strongest, best.mag);
 
     const auto& entry = bank.entries[static_cast<std::size_t>(best.shape)];
@@ -466,6 +493,11 @@ std::vector<DetectedResponse> SearchSubtractDetector::search_loop(
     resp.amplitude = amp_at_peak;
     resp.shape_index =
         config_.shape_registers.size() > 1 ? best.shape : -1;
+    UWB_FR_EVENT(.kind = obs::FrKind::kDetect, .name = "peak_accepted",
+                 .v0 = {"mag", best.mag},
+                 .v1 = {"threshold", config_.noise_threshold_factor * noise},
+                 .v2 = {"tau_s", resp.tau_s},
+                 .v3 = {"shape", static_cast<double>(best.shape)});
     found.push_back(resp);
 
     if (k + 1 == max_responses) break;  // last iteration: no update needed

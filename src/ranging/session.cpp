@@ -5,6 +5,7 @@
 
 #include "common/constants.hpp"
 #include "common/expects.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace uwb::ranging {
@@ -192,6 +193,11 @@ void ConcurrentRangingScenario::arm_responder(int responder_id) {
 
 RoundOutcome ConcurrentRangingScenario::run_round() {
   UWB_OBS_SPAN("session_round");
+  // Every event recorded while this round runs carries (scenario seed,
+  // round index); the context clock starts at the current simulated time
+  // and follows the simulator's dispatch loop from there.
+  UWB_FR_SESSION_SCOPE(config_.seed, static_cast<std::uint32_t>(stats_.rounds));
+  UWB_FR_SET_TIME(sim_.now());
   const int max_attempts = 1 + config_.resilience.max_retries;
   RoundOutcome out;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -205,12 +211,38 @@ RoundOutcome ConcurrentRangingScenario::run_round() {
       ++stats_.retry_attempts;
       UWB_OBS_COUNT("session_retry_attempts", 1);
     }
+    UWB_FR_EVENT(.kind = obs::FrKind::kStatus, .name = "attempt_begin",
+                 .node = kInitiatorId,
+                 .v0 = {"attempt", static_cast<double>(attempt)});
     out = run_attempt();
     out.attempts = attempt;
     if (out.payload_decoded) break;
   }
 
   fill_reports(out);
+  if (UWB_FR_ACTIVE()) {
+    // Terminal event of every responder's chain this round: the status the
+    // caller sees. explain_session.py anchors its narratives here.
+    for (const ResponderReport& rep : out.responder_reports) {
+      UWB_FR_EVENT(.kind = obs::FrKind::kStatus, .name = "responder_status",
+                   .node = rep.id, .peer = kInitiatorId,
+                   .detail = to_string(rep.status),
+                   .v0 = {"attempts", static_cast<double>(out.attempts)});
+    }
+    UWB_FR_EVENT(.kind = obs::FrKind::kStatus, .name = "round_summary",
+                 .chain = initiator_result_ ? initiator_result_->sync_chain
+                                            : std::uint64_t{0},
+                 .node = kInitiatorId,
+                 .peer = out.payload_decoded ? out.sync_responder_id
+                                             : obs::kFrNoNode,
+                 .detail = out.payload_decoded  ? "decoded"
+                           : out.completed      ? "no_payload"
+                                                : "no_batch",
+                 .v0 = {"d_twr_m", out.d_twr_m},
+                 .v1 = {"frames_in_batch",
+                        static_cast<double>(out.frames_in_batch)},
+                 .v2 = {"attempts", static_cast<double>(out.attempts)});
+  }
   ++stats_.rounds;
   if (out.degraded) {
     ++stats_.degraded_rounds;
@@ -308,6 +340,10 @@ RoundOutcome ConcurrentRangingScenario::run_attempt() {
   if (!r.frame || r.frame->type != dw::FrameType::Resp) return out;
   out.payload_decoded = true;
   out.sync_responder_id = r.frame->responder_id;
+
+  // TWR math and CIR detection below are consequences of the sync frame's
+  // reception — their events belong to its chain.
+  UWB_FR_CHAIN_SCOPE(r.sync_chain);
 
   TwrTimestamps ts;
   ts.t_tx_init = t_tx_init_;

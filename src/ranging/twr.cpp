@@ -2,6 +2,7 @@
 
 #include "common/constants.hpp"
 #include "common/expects.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace uwb::ranging {
 
@@ -17,7 +18,16 @@ Seconds ss_twr_tof(const TwrTimestamps& ts, double cfo_ppm) {
 }
 
 Meters ss_twr_distance(const TwrTimestamps& ts, double cfo_ppm) {
-  return distance_from_tof(ss_twr_tof(ts, cfo_ppm));
+  const Meters d = distance_from_tof(ss_twr_tof(ts, cfo_ppm));
+  // Chain comes from the recorder context (the session computes TWR inside
+  // the sync frame's chain scope).
+  UWB_FR_EVENT(.kind = obs::FrKind::kTwr, .name = "ss_twr",
+               .v0 = {"t_round_s",
+                      ts.t_rx_init.diff_seconds(ts.t_tx_init).value()},
+               .v1 = {"t_reply_s",
+                      ts.t_tx_resp.diff_seconds(ts.t_rx_resp).value()},
+               .v2 = {"cfo_ppm", cfo_ppm}, .v3 = {"d_m", d.value()});
+  return d;
 }
 
 Seconds estimate_antenna_delay(Meters measured, Meters true_distance) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/expects.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 #include "sim/node.hpp"
 
@@ -23,7 +24,8 @@ std::uint64_t link_stream(int tx_node_id, int rx_node_id) {
 
 Medium::Medium(Simulator& simulator, channel::ChannelModel model,
                MediumParams params, Rng rng)
-    : sim_(simulator), model_(std::move(model)), params_(params) {
+    : sim_(simulator), model_(std::move(model)), params_(params),
+      fanout_(obs::fanout_buckets()) {
   UWB_EXPECTS(params.detection_threshold_amp >= 0.0);
   // One draw anchors the whole per-(link, frame) seed hierarchy; the Rng
   // itself is not kept, so no shared mutable stream survives construction.
@@ -79,11 +81,11 @@ CellTraffic& Medium::cell_traffic_entry(geom::CellKey key) {
   return *it;
 }
 
-bool Medium::deliver(Node& rx, int tx_node_id, geom::Vec2 tx_pos,
-                     std::uint64_t frame_seed, const dw::MacFrame& frame,
-                     std::uint8_t tc_pgdelay, SimTime preamble_start,
-                     SimTime shr_sim, SimTime frame_sim, double tx_drift_ppm,
-                     fault::FaultInjector* injector) {
+Medium::DeliverOutcome Medium::deliver(
+    Node& rx, int tx_node_id, geom::Vec2 tx_pos, std::uint64_t frame_seed,
+    const dw::MacFrame& frame, std::uint8_t tc_pgdelay, SimTime preamble_start,
+    SimTime shr_sim, SimTime frame_sim, double tx_drift_ppm,
+    fault::FaultInjector* injector) {
   // Independent stream per (link, frame): the draw sequence of this link
   // cannot depend on which other receivers were realized before it.
   Rng link_rng(derive_seed(frame_seed, link_stream(tx_node_id, rx.id())));
@@ -94,19 +96,28 @@ bool Medium::deliver(Node& rx, int tx_node_id, geom::Vec2 tx_pos,
   // The receiver's preamble detector locks to the earliest path that is
   // strong enough; frames with no detectable path are out of range.
   const channel::Tap* first = nullptr;
+  double strongest_amp = 0.0;
   for (const channel::Tap& tap : ch.taps) {
-    if (std::abs(tap.amplitude) >= params_.detection_threshold_amp) {
+    const double amp = std::abs(tap.amplitude);
+    strongest_amp = std::max(strongest_amp, amp);
+    if (amp >= params_.detection_threshold_amp) {
       first = &tap;
       break;
     }
   }
   if (first == nullptr) {
     ++stats_.below_threshold;
-    return false;
+    UWB_FR_EVENT(.kind = obs::FrKind::kChannel, .name = "below_threshold",
+                 .chain = frame_seed, .t_ps = preamble_start.ps(),
+                 .node = rx.id(), .peer = tx_node_id,
+                 .v0 = {"strongest_amp", strongest_amp},
+                 .v1 = {"threshold_amp", params_.detection_threshold_amp});
+    return DeliverOutcome::kBelowThreshold;
   }
 
   AirFrame af;
   af.tx_node_id = tx_node_id;
+  af.chain = frame_seed;
   af.frame = frame;
   af.tc_pgdelay = tc_pgdelay;
   af.tx_drift_ppm = tx_drift_ppm;
@@ -119,7 +130,13 @@ bool Medium::deliver(Node& rx, int tx_node_id, geom::Vec2 tx_pos,
   af.frame_end_arrival = af.preamble_start_arrival + frame_sim;
   if (injector != nullptr)
     af.preamble_missed =
-        injector->miss_preamble(rx.id(), af.first_path_amplitude);
+        injector->miss_preamble(rx.id(), af.first_path_amplitude, frame_seed);
+
+  UWB_FR_EVENT(.kind = obs::FrKind::kChannel, .name = "delivered",
+               .chain = frame_seed, .t_ps = preamble_start.ps(),
+               .node = rx.id(), .peer = tx_node_id,
+               .v0 = {"first_path_amp", af.first_path_amplitude},
+               .v1 = {"delay_s", first->delay_s});
 
   if (delivery_probe_) delivery_probe_(rx.id(), af);
 
@@ -128,7 +145,7 @@ bool Medium::deliver(Node& rx, int tx_node_id, geom::Vec2 tx_pos,
     target->on_air_frame(std::move(af));
   });
   ++stats_.frames_delivered;
-  return true;
+  return DeliverOutcome::kDelivered;
 }
 
 void Medium::transmit(int tx_node_id, const dw::MacFrame& frame,
@@ -147,6 +164,14 @@ void Medium::transmit(int tx_node_id, const dw::MacFrame& frame,
       derive_seed(channel_stream_base_, frame_seq_++);
   ++stats_.frames_transmitted;
 
+  // Root of this frame's causal chain: every downstream event (channel
+  // decision, RX, fault, detect, status) carries frame_seed as its chain id.
+  UWB_FR_EVENT(.kind = obs::FrKind::kTx, .name = "frame_tx",
+               .chain = frame_seed, .t_ps = preamble_start.ps(),
+               .node = tx_node_id,
+               .v0 = {"frame_seq", static_cast<double>(frame_seq_ - 1)},
+               .v1 = {"frame_duration_s", frame_duration.value()});
+
   // Loop-invariant across receivers: time conversions and the injector.
   const SimTime shr_sim = to_sim_time(shr_duration);
   const SimTime frame_sim = to_sim_time(frame_duration);
@@ -162,11 +187,14 @@ void Medium::transmit(int tx_node_id, const dw::MacFrame& frame,
     for (const std::int32_t idx : candidates_) {
       Node& rx = *nodes_[static_cast<std::size_t>(idx)];
       if (rx.id() == tx_node_id) continue;
+      CellTraffic& traffic = cell_traffic_entry(grid_.key_of(rx.position()));
       if (deliver(rx, tx_node_id, tx_pos, frame_seed, frame, tc_pgdelay,
                   preamble_start, shr_sim, frame_sim, tx_drift_ppm,
-                  injector)) {
+                  injector) == DeliverOutcome::kDelivered) {
         ++delivered;
-        ++cell_traffic_entry(grid_.key_of(rx.position())).delivered;
+        ++traffic.delivered;
+      } else {
+        ++traffic.below_threshold;
       }
     }
     // Everything outside the 3x3 neighborhood is skipped wholesale —
@@ -177,6 +205,17 @@ void Medium::transmit(int tx_node_id, const dw::MacFrame& frame,
       const auto n = static_cast<std::uint64_t>(cell.indices.size());
       culled += n;
       cell_traffic_entry(cell.key).culled += n;
+      if (UWB_FR_ACTIVE()) {
+        for (const std::int32_t idx : cell.indices) {
+          const Node& rx = *nodes_[static_cast<std::size_t>(idx)];
+          UWB_FR_EVENT(.kind = obs::FrKind::kChannel, .name = "culled",
+                       .chain = frame_seed, .t_ps = preamble_start.ps(),
+                       .node = rx.id(), .peer = tx_node_id,
+                       .v0 = {"distance_m",
+                              geom::distance(tx_pos, rx.position())},
+                       .v1 = {"radius_m", interference_radius_m_});
+        }
+      }
     }
     stats_.receivers_culled += culled;
   } else {
@@ -184,11 +223,15 @@ void Medium::transmit(int tx_node_id, const dw::MacFrame& frame,
       if (rx->id() == tx_node_id) continue;
       if (deliver(*rx, tx_node_id, tx_pos, frame_seed, frame, tc_pgdelay,
                   preamble_start, shr_sim, frame_sim, tx_drift_ppm,
-                  injector)) {
+                  injector) == DeliverOutcome::kDelivered) {
         ++delivered;
       }
     }
   }
+
+  // First-class copy of the fan-out histogram: stays live in
+  // UWB_OBS_DISABLED builds (the registry copy below compiles out).
+  fanout_.observe(static_cast<double>(delivered));
 
   UWB_OBS_COUNT("medium_frames_delivered", delivered);
   UWB_OBS_COUNT("medium_receivers_culled", culled);

@@ -29,6 +29,7 @@
 #include "dw1000/phy_config.hpp"
 #include "fault/fault.hpp"
 #include "geom/grid.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace uwb::sim {
@@ -39,6 +40,10 @@ class Node;
 /// arrival instants of the relevant frame landmarks.
 struct AirFrame {
   int tx_node_id = -1;
+  /// Causal chain id of the transmission this frame belongs to: the frame's
+  /// channel seed, minted once per transmit() and shared by every receiver's
+  /// copy. Flight-recorder events along this frame's life carry it.
+  std::uint64_t chain = 0;
   dw::MacFrame frame;
   std::uint8_t tc_pgdelay = 0x93;
   /// TX crystal drift (ground truth, used for the receiver's carrier
@@ -98,6 +103,11 @@ struct CellTraffic {
   geom::CellKey key = 0;
   std::uint64_t delivered = 0;
   std::uint64_t culled = 0;
+  /// Receivers whose channel was realized but had no detectable path.
+  /// With delivered and culled this closes the per-frame accounting:
+  /// delivered + culled + below_threshold sums to (nodes - 1) per frame
+  /// when culling is active.
+  std::uint64_t below_threshold = 0;
 };
 
 class Medium {
@@ -144,9 +154,15 @@ class Medium {
   const geom::UniformGrid& spatial_index();
 
   const MediumStats& stats() const { return stats_; }
-  /// Per-cell delivered/culled counts, ascending by cell key. Empty when
-  /// culling is inactive.
+  /// Per-cell delivered/culled/below-threshold counts, ascending by cell
+  /// key. Empty when culling is inactive.
   const std::vector<CellTraffic>& cell_traffic() const { return cell_traffic_; }
+
+  /// Per-frame delivery fan-out histogram (receivers reached per
+  /// transmission). A first-class stat maintained directly — unlike the
+  /// registry copy fed through UWB_OBS_HISTOGRAM, it stays live (and
+  /// testable) in UWB_OBS_DISABLED builds.
+  const obs::Histogram& frame_fanout() const { return fanout_; }
 
   /// Test hook: observe every AirFrame at the instant it is scheduled
   /// (before delivery). Used by the culling-identity tests.
@@ -156,13 +172,15 @@ class Medium {
   }
 
  private:
+  enum class DeliverOutcome { kDelivered, kBelowThreshold };
+
   void ensure_spatial_index();
-  /// Realize the link and schedule the AirFrame; true when delivered.
-  bool deliver(Node& rx, int tx_node_id, geom::Vec2 tx_pos,
-               std::uint64_t frame_seed, const dw::MacFrame& frame,
-               std::uint8_t tc_pgdelay, SimTime preamble_start,
-               SimTime shr_sim, SimTime frame_sim, double tx_drift_ppm,
-               fault::FaultInjector* injector);
+  /// Realize the link and schedule the AirFrame.
+  DeliverOutcome deliver(Node& rx, int tx_node_id, geom::Vec2 tx_pos,
+                         std::uint64_t frame_seed, const dw::MacFrame& frame,
+                         std::uint8_t tc_pgdelay, SimTime preamble_start,
+                         SimTime shr_sim, SimTime frame_sim,
+                         double tx_drift_ppm, fault::FaultInjector* injector);
   CellTraffic& cell_traffic_entry(geom::CellKey key);
 
   Simulator& sim_;
@@ -191,6 +209,7 @@ class Medium {
 
   MediumStats stats_;
   std::vector<CellTraffic> cell_traffic_;
+  obs::Histogram fanout_;
   std::function<void(int, const AirFrame&)> delivery_probe_;
 };
 

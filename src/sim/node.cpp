@@ -5,6 +5,7 @@
 
 #include "common/expects.hpp"
 #include "common/units.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace uwb::sim {
@@ -41,6 +42,15 @@ void Node::exit_rx() {
   if (!rx_enabled_) return;
   energy_.add_rx((sim_.now() - rx_since_).seconds());
   rx_enabled_ = false;
+  if (UWB_FR_ACTIVE()) {
+    // Frames still pending when the protocol turns the radio off never
+    // finalize — record where each chain died.
+    for (const AirFrame& af : pending_) {
+      UWB_FR_EVENT(.kind = obs::FrKind::kRx, .name = "rx_abandoned",
+                   .chain = af.chain, .node = config_.id,
+                   .peer = af.tx_node_id);
+    }
+  }
   pending_.clear();
 }
 
@@ -91,7 +101,11 @@ bool Node::schedule_delayed_tx(dw::MacFrame frame,
   // The target (minus the preamble lead-in) is already in the past: the
   // hardware raises HPDWARN and the firmware aborts the transmission — a
   // runtime condition, not a precondition violation.
-  if (preamble_start < sim_.now()) return false;
+  if (preamble_start < sim_.now()) {
+    UWB_FR_EVENT(.kind = obs::FrKind::kTx, .name = "delayed_tx_abort",
+                 .node = config_.id, .detail = "target_in_past");
+    return false;
+  }
   fault::FaultInjector* injector = medium_.fault_injector();
   if (injector != nullptr && injector->abort_delayed_tx(config_.id))
     return false;
@@ -102,13 +116,21 @@ bool Node::schedule_delayed_tx(dw::MacFrame frame,
 }
 
 void Node::on_air_frame(AirFrame af) {
-  if (!rx_enabled_ || sim_.now() < rx_since_) return;
+  if (!rx_enabled_ || sim_.now() < rx_since_) {
+    UWB_FR_EVENT(.kind = obs::FrKind::kRx, .name = "rx_radio_off",
+                 .chain = af.chain, .node = config_.id, .peer = af.tx_node_id);
+    return;
+  }
   if (pending_.empty()) {
     // An injected preamble miss on a would-be leader means the receiver
     // never locks: the frame is lost outright (its energy superposes only
-    // when another frame already holds the lock).
+    // when another frame already holds the lock). The injector already
+    // recorded the fault event for this chain.
     if (af.preamble_missed) return;
     // Batch leader: the receiver locks on and reports once the frame ends.
+    UWB_FR_EVENT(.kind = obs::FrKind::kRx, .name = "rx_batch_lead",
+                 .chain = af.chain, .node = config_.id, .peer = af.tx_node_id,
+                 .v0 = {"first_path_amp", af.first_path_amplitude});
     sim_.at(af.frame_end_arrival + kFinalizeMargin, [this]() { finalize_batch(); });
     pending_.push_back(std::move(af));
     return;
@@ -116,8 +138,15 @@ void Node::on_air_frame(AirFrame af) {
   // Later frames join the batch only if their preamble overlaps the
   // leader's synchronisation header; otherwise the radio is busy and the
   // frame is lost.
-  if (af.preamble_start_arrival <= pending_.front().rmarker_arrival)
+  if (af.preamble_start_arrival <= pending_.front().rmarker_arrival) {
+    UWB_FR_EVENT(.kind = obs::FrKind::kRx, .name = "rx_batch_join",
+                 .chain = af.chain, .node = config_.id, .peer = af.tx_node_id,
+                 .v0 = {"batch_size", static_cast<double>(pending_.size() + 1)});
     pending_.push_back(std::move(af));
+  } else {
+    UWB_FR_EVENT(.kind = obs::FrKind::kRx, .name = "rx_late_for_batch",
+                 .chain = af.chain, .node = config_.id, .peer = af.tx_node_id);
+  }
 }
 
 void Node::finalize_batch() {
@@ -167,6 +196,7 @@ void Node::finalize_batch() {
                               rng_.normal(0.0, config_.cfo_noise_ppm);
   result.frames_in_batch = static_cast<int>(pending_.size());
   result.sync_tx_node_id = sync->tx_node_id;
+  result.sync_chain = sync->chain;
   result.batch_tx_node_ids.reserve(pending_.size());
   for (const AirFrame& af : pending_)
     result.batch_tx_node_ids.push_back(af.tx_node_id);
@@ -189,24 +219,46 @@ void Node::finalize_batch() {
     interference = std::max(interference, frame_power(af));
   }
   const double sync_power = frame_power(*sync);
+  const double sir_db = interference == 0.0
+                            ? 0.0
+                            : linear_to_db(sync_power / interference);
   bool decodable =
-      interference == 0.0 ||
-      linear_to_db(sync_power / interference) >= config_.decode_min_sir_db;
+      interference == 0.0 || sir_db >= config_.decode_min_sir_db;
+  if (!decodable) {
+    UWB_FR_EVENT(.kind = obs::FrKind::kRx, .name = "rx_decode_failed",
+                 .chain = sync->chain, .node = config_.id,
+                 .peer = sync->tx_node_id, .detail = "low_sir",
+                 .v0 = {"sir_db", sir_db},
+                 .v1 = {"min_sir_db", config_.decode_min_sir_db});
+  }
   // Injected CRC fault: the payload demodulates but its FCS fails, so the
   // MAC discards it. Either failure path surfaces as crc_error.
   fault::FaultInjector* injector = medium_.fault_injector();
-  if (decodable && injector != nullptr && injector->corrupt_crc(config_.id))
+  if (decodable && injector != nullptr &&
+      injector->corrupt_crc(config_.id, sync->chain))
     decodable = false;
   if (decodable)
     result.frame = sync->frame;
   else
     result.crc_error = true;
 
+  UWB_FR_EVENT(.kind = obs::FrKind::kRx, .name = "rx_batch_complete",
+               .chain = sync->chain, .node = config_.id,
+               .peer = sync->tx_node_id,
+               .detail = decodable ? "decoded" : "crc_error",
+               .v0 = {"frames_in_batch",
+                      static_cast<double>(result.frames_in_batch)});
+
   energy_.add_rx((sim_.now() - rx_since_).seconds());
   rx_enabled_ = false;
   pending_.clear();
 
-  if (rx_handler_) rx_handler_(result);
+  if (rx_handler_) {
+    // Events recorded while the protocol reacts to this reception (delayed
+    // TX arming, fault decisions, detection) inherit the sync chain.
+    UWB_FR_CHAIN_SCOPE(result.sync_chain);
+    rx_handler_(result);
+  }
 }
 
 }  // namespace uwb::sim

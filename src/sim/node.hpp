@@ -76,6 +76,10 @@ struct RxResult {
   int frames_in_batch = 0;
   /// Node id of the sync (decoded) transmitter.
   int sync_tx_node_id = -1;
+  /// Causal chain id of the sync frame (see AirFrame::chain); 0 when the
+  /// flight recorder never tagged it. Sessions propagate it into the
+  /// detect/twr/status events of the round.
+  std::uint64_t sync_chain = 0;
   /// A sync payload existed but failed its frame check sequence (SIR too
   /// low against a colliding frame, or an injected CRC fault). `frame` is
   /// nullopt in that case; CIR and timestamp remain valid.

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/expects.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace uwb::sim {
@@ -19,6 +20,9 @@ void Simulator::dispatch_one() {
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = ev.time;
+  // Keep the flight recorder's context clock current so events recorded
+  // inside callbacks carry the dispatch's simulated time by default.
+  UWB_FR_SET_TIME(now_);
   ++dispatched_;
   ev.fn();
 }
@@ -30,6 +34,7 @@ void Simulator::run() {
 void Simulator::run_until(SimTime t) {
   while (!queue_.empty() && queue_.top().time <= t) dispatch_one();
   if (now_ < t) now_ = t;
+  UWB_FR_SET_TIME(now_);
 }
 
 }  // namespace uwb::sim

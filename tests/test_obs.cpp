@@ -214,6 +214,50 @@ TEST_F(ObsTest, CounterMergeBitIdenticalAcrossWorkerCounts) {
   EXPECT_EQ(one.counter("never_recorded"), 0u);
 }
 
+TEST_F(ObsTest, PrometheusExpositionCoversEveryMetricFamily) {
+  Shard& shard = MetricsRegistry::instance().local_shard();
+  shard.counter("frames.delivered").add(17);
+  shard.gauge("queue-depth").set(2.5);
+  Histogram& h = shard.histogram("fanout",
+                                 HistogramBuckets::linear(1.0, 1.0, 2));
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(99.0);
+
+  const std::string text =
+      MetricsRegistry::instance().aggregate().to_prometheus();
+
+  // Counter: uwb_ prefix, non-[a-zA-Z0-9_:] characters sanitized to '_'.
+  EXPECT_NE(text.find("# TYPE uwb_frames_delivered counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("uwb_frames_delivered 17\n"), std::string::npos);
+  // Gauge.
+  EXPECT_NE(text.find("# TYPE uwb_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("uwb_queue_depth 2.5\n"), std::string::npos);
+  // Histogram: cumulative buckets ending at +Inf, plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE uwb_fanout histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("uwb_fanout_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("uwb_fanout_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("uwb_fanout_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("uwb_fanout_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("uwb_fanout_sum 101\n"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusExpositionIncludesSpanTotals) {
+  Shard& shard = MetricsRegistry::instance().local_shard();
+  for (const std::uint64_t dur_ns : {5'000'000ull, 5'000'000ull, 2'500'000ull}) {
+    const int depth = shard.enter_span();
+    shard.exit_span("detect", 0, dur_ns, depth);
+  }
+  const std::string text =
+      MetricsRegistry::instance().aggregate().to_prometheus();
+  EXPECT_NE(text.find("# TYPE uwb_span_detect_calls_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("uwb_span_detect_calls_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("uwb_span_detect_ms_total 12.5\n"), std::string::npos);
+}
+
 TEST_F(ObsTest, AggregateNamesAreSorted) {
   Shard& shard = MetricsRegistry::instance().local_shard();
   shard.counter("zebra").add(1);

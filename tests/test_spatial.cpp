@@ -383,12 +383,25 @@ TEST(CullingIdentityTest, CellTrafficAccountsEveryReceiver) {
             stats.frames_delivered + stats.below_threshold);
   std::uint64_t cell_delivered = 0;
   std::uint64_t cell_culled = 0;
+  std::uint64_t cell_below = 0;
   for (const CellTraffic& c : medium.cell_traffic()) {
     cell_delivered += c.delivered;
     cell_culled += c.culled;
+    cell_below += c.below_threshold;
   }
   EXPECT_EQ(cell_delivered, stats.frames_delivered);
   EXPECT_EQ(cell_culled, stats.receivers_culled);
+  EXPECT_EQ(cell_below, stats.below_threshold);
+  // Per-cell accounting closes exactly: every one of the N-1 potential
+  // receivers of every frame lands in exactly one bucket.
+  EXPECT_EQ(cell_delivered + cell_culled + cell_below, 40u * 39u);
+
+  // The fan-out histogram is plain Medium state (not an UWB_OBS_* macro),
+  // so it must be live in every build flavour, one observation per
+  // transmitted frame, summing to the delivered totals.
+  EXPECT_EQ(medium.frame_fanout().count(), stats.frames_transmitted);
+  EXPECT_DOUBLE_EQ(medium.frame_fanout().sum(),
+                   static_cast<double>(stats.frames_delivered));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,14 +1,22 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace_event JSON file produced by the obs TraceSink.
+"""Validate a Chrome trace_event JSON file produced by the obs TraceSink,
+or (with --flight) a flight-recorder JSONL file.
 
-Checks that the file parses, uses the trace_event "JSON object format"
-with complete events (ph "X"), that every event carries the fields the
-viewers need (name/ts/dur/pid/tid), and that the span nesting recorded in
-args.depth is structurally consistent per thread: an event at depth d+1
-must lie within the time bounds of an enclosing event at depth d.
+Chrome-trace mode checks that the file parses, uses the trace_event "JSON
+object format" with complete events (ph "X"), that every event carries the
+fields the viewers need (name/ts/dur/pid/tid), and that the span nesting
+recorded in args.depth is structurally consistent per thread: an event at
+depth d+1 must lie within the time bounds of an enclosing event at depth d.
+
+Flight mode (--flight) checks the JSONL export of obs::FlightRecorder:
+every line is a JSON object with the required fields, the kind vocabulary
+matches the C++ enum, per-chain simulated time is non-decreasing in file
+order, every non-zero chain is rooted at a "tx" event, and the trailing
+meta line's event count matches the line count.
 
 Usage:
     check_trace.py TRACE.json [--min-events N] [--require-name NAME ...]
+    check_trace.py RECORDING.jsonl --flight [--min-events N]
 """
 
 from __future__ import annotations
@@ -23,6 +31,73 @@ def fail(message: str) -> "NoReturn":  # noqa: F821
     sys.exit(1)
 
 
+FLIGHT_KINDS = {"tx", "channel", "rx", "fault", "detect", "twr", "status"}
+FLIGHT_FIELDS = ("session", "round", "chain", "t_ps", "kind", "name")
+
+
+def check_flight(path: str, min_events: int) -> int:
+    try:
+        with open(path) as f:
+            lines = [line for line in f.read().splitlines() if line]
+    except OSError as exc:
+        fail(f"cannot read {path}: {exc}")
+    if not lines:
+        fail(f"{path} is empty")
+
+    try:
+        meta = json.loads(lines[-1])
+    except json.JSONDecodeError as exc:
+        fail(f"{path}: meta line is not valid JSON: {exc}")
+    if meta.get("meta") != "uwb_flight_recorder":
+        fail(f"{path}: last line is not the uwb_flight_recorder meta line")
+    if "dropped_events" not in meta:
+        fail(f"{path}: meta line is missing 'dropped_events'")
+    if meta.get("events") != len(lines) - 1:
+        fail(f"{path}: meta says {meta.get('events')} events, file has "
+             f"{len(lines) - 1}")
+    if len(lines) - 1 < min_events:
+        fail(f"only {len(lines) - 1} event(s), expected >= {min_events}")
+
+    # Per-chain bookkeeping: first-seen kind (must be "tx") and the last
+    # simulated time (must never decrease in file order).
+    chain_root_kind: dict = {}
+    chain_last_t: dict = {}
+    kinds_seen = set()
+    for i, line in enumerate(lines[:-1]):
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{i + 1}: not valid JSON: {exc}")
+        if not isinstance(ev, dict):
+            fail(f"{path}:{i + 1}: event must be an object")
+        for field in FLIGHT_FIELDS:
+            if field not in ev:
+                fail(f"{path}:{i + 1}: missing '{field}': {ev!r}")
+        if ev["kind"] not in FLIGHT_KINDS:
+            fail(f"{path}:{i + 1}: unknown kind {ev['kind']!r} (expected "
+                 f"one of {sorted(FLIGHT_KINDS)})")
+        kinds_seen.add(ev["kind"])
+        chain = int(ev["chain"], 16)
+        if chain == 0:
+            continue
+        key = (ev["session"], chain)
+        if key not in chain_root_kind:
+            chain_root_kind[key] = ev["kind"]
+            if ev["kind"] != "tx":
+                fail(f"{path}:{i + 1}: chain {ev['chain']} starts with "
+                     f"kind {ev['kind']!r}, expected its 'tx' root first")
+        t = int(ev["t_ps"])
+        if key in chain_last_t and t < chain_last_t[key]:
+            fail(f"{path}:{i + 1}: chain {ev['chain']} time went backwards "
+                 f"({chain_last_t[key]} -> {t} ps)")
+        chain_last_t[key] = t
+
+    print(f"{path}: {len(lines) - 1} events, {len(chain_root_kind)} "
+          f"chain(s), kinds: {', '.join(sorted(kinds_seen))}, "
+          f"dropped_events={meta['dropped_events']}")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace")
@@ -30,7 +105,13 @@ def main() -> int:
                         help="fail when fewer events are present")
     parser.add_argument("--require-name", action="append", default=[],
                         help="span name that must appear (repeatable)")
+    parser.add_argument("--flight", action="store_true",
+                        help="validate a flight-recorder JSONL file instead "
+                             "of a Chrome trace")
     args = parser.parse_args()
+
+    if args.flight:
+        return check_flight(args.trace, args.min_events)
 
     try:
         with open(args.trace) as f:

@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Post-mortem explain pipeline for flight-recorder recordings.
+
+Takes the JSONL export of obs::FlightRecorder (--flight-record FILE on the
+benches, or the flight_recorder_demo example) and reconstructs the causal
+narrative behind any ranging outcome: which frames were transmitted, what
+the channel did to each receiver's copy, which faults were injected, what
+the detector decided, and how the session arrived at each responder's
+final status.
+
+Modes:
+    explain_session.py R.jsonl --list
+        Sessions, rounds, and per-responder statuses in the recording.
+
+    explain_session.py R.jsonl --session HEX --round N --responder ID
+        Causal narrative for one (session, round, responder) triple:
+        the INIT chains of the round as the responder saw them, the
+        responder's own RESP chains as the initiator saw them, the faults
+        that struck the responder, and the final status event.
+
+    explain_session.py R.jsonl --check-all
+        For every non-ok responder status in the recording, require at
+        least one explaining event (a fault naming the responder, a lost
+        INIT copy at the responder, a lost/corrupted RESP at the
+        initiator, or an aborted delayed TX). Exits 1 listing any status
+        with no explaining event chain — the obs-smoke CI gate.
+
+Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+INITIATOR = -1
+
+# Events that terminate a frame copy's life short of a completed reception.
+LOSS_NAMES = {
+    "below_threshold", "culled", "rx_radio_off", "rx_late_for_batch",
+    "rx_abandoned", "rx_decode_failed",
+}
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str):
+    """Parse a recording into (events, meta); validates the meta line."""
+    try:
+        with open(path) as f:
+            lines = [line for line in f.read().splitlines() if line]
+    except OSError as exc:
+        fail(f"cannot read {path}: {exc}")
+    if not lines:
+        fail(f"{path} is empty")
+    try:
+        meta = json.loads(lines[-1])
+    except json.JSONDecodeError as exc:
+        fail(f"{path}: meta line is not valid JSON: {exc}")
+    if meta.get("meta") != "uwb_flight_recorder":
+        fail(f"{path}: not a flight recording (missing meta line)")
+    events = []
+    for i, line in enumerate(lines[:-1]):
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{i + 1}: not valid JSON: {exc}")
+        ev["session"] = int(ev["session"], 16)
+        ev["chain"] = int(ev["chain"], 16)
+        events.append(ev)
+    return events, meta
+
+
+class Recording:
+    """Index of a recording: chains with their roots, per-round events."""
+
+    def __init__(self, events):
+        self.events = events
+        # chain id -> events in file (= causal) order
+        self.chains = {}
+        # (session, round) -> events
+        self.rounds = {}
+        for ev in events:
+            if ev["chain"] != 0:
+                self.chains.setdefault((ev["session"], ev["chain"]),
+                                       []).append(ev)
+            self.rounds.setdefault((ev["session"], ev["round"]),
+                                   []).append(ev)
+
+    def chain_root(self, session, chain):
+        evs = self.chains.get((session, chain))
+        return evs[0] if evs else None
+
+    def round_chains(self, session, rnd):
+        """Chain ids rooted (tx event) in this round, in tx order."""
+        out = []
+        for ev in self.rounds.get((session, rnd), []):
+            if ev["kind"] == "tx" and ev["name"] == "frame_tx":
+                out.append(ev["chain"])
+        return out
+
+    def statuses(self, session, rnd):
+        """responder id -> (status string, attempts) for one round."""
+        out = {}
+        for ev in self.rounds.get((session, rnd), []):
+            if ev["name"] == "responder_status":
+                out[ev["node"]] = (ev.get("detail", "?"),
+                                   int(ev.get("f", {}).get("attempts", 0)))
+        return out
+
+
+def fmt_time(t_ps: int) -> str:
+    return f"{t_ps / 1e6:.3f} us"
+
+
+def fmt_event(ev, indent="  ") -> str:
+    parts = [f"{indent}[{fmt_time(ev['t_ps'])}] {ev['kind']}/{ev['name']}"]
+    if "node" in ev:
+        parts.append(f"node={ev['node']}")
+    if "peer" in ev:
+        parts.append(f"peer={ev['peer']}")
+    if "detail" in ev:
+        parts.append(f"detail={ev['detail']}")
+    for key, value in ev.get("f", {}).items():
+        parts.append(f"{key}={value:.6g}")
+    return " ".join(parts)
+
+
+def explaining_events(rec: Recording, session, rnd, responder):
+    """Events that explain a non-ok status for `responder` in the round."""
+    found = []
+    round_events = rec.rounds.get((session, rnd), [])
+    chain_ids = set(rec.round_chains(session, rnd))
+    for ev in round_events:
+        # Faults and aborted delayed transmissions striking the responder.
+        if ev["kind"] == "fault" and ev.get("node") == responder:
+            found.append(ev)
+        elif ev["name"] == "delayed_tx_abort" and ev.get("node") == responder:
+            found.append(ev)
+        # A frame copy lost at the responder (it never heard the INIT) —
+        # any chain of the round, since RESP copies from peers matter too.
+        elif (ev["name"] in LOSS_NAMES and ev.get("node") == responder
+              and ev["chain"] in chain_ids):
+            found.append(ev)
+    # The responder's own RESP chains: copies lost or corrupted anywhere
+    # (most importantly at the initiator).
+    for chain in chain_ids:
+        root = rec.chain_root(session, chain)
+        if root is None or root.get("node") != responder:
+            continue
+        for ev in rec.chains[(session, chain)]:
+            if ev["name"] in LOSS_NAMES or ev["kind"] == "fault":
+                found.append(ev)
+            if (ev["name"] == "rx_batch_complete"
+                    and ev.get("detail") == "crc_error"):
+                found.append(ev)
+    # CRC failure of the sync payload fails the whole batch: every in-batch
+    # responder's crc_error status is explained by that one event.
+    for ev in round_events:
+        if (ev["name"] == "rx_batch_complete"
+                and ev.get("detail") == "crc_error"
+                and ev.get("node") == INITIATOR):
+            found.append(ev)
+        if (ev["name"] == "rx_decode_failed"
+                and ev.get("node") == INITIATOR):
+            found.append(ev)
+    # Deduplicate, preserving order.
+    seen, unique = set(), []
+    for ev in found:
+        key = id(ev)
+        if key not in seen:
+            seen.add(key)
+            unique.append(ev)
+    return unique
+
+
+def cmd_list(rec: Recording) -> int:
+    sessions = sorted({s for s, _ in rec.rounds})
+    print(f"{len(sessions)} session(s)")
+    for session in sessions:
+        rounds = sorted(r for s, r in rec.rounds if s == session)
+        print(f"session 0x{session:016x}: {len(rounds)} round(s)")
+        for rnd in rounds:
+            statuses = rec.statuses(session, rnd)
+            summary = ", ".join(f"{node}:{status}"
+                                for node, (status, _) in sorted(statuses.items()))
+            print(f"  round {rnd}: {summary if summary else '(no statuses)'}")
+    return 0
+
+
+def cmd_explain(rec: Recording, session, rnd, responder) -> int:
+    round_events = rec.rounds.get((session, rnd), [])
+    if not round_events:
+        fail(f"no events for session 0x{session:016x} round {rnd}")
+    statuses = rec.statuses(session, rnd)
+    if responder not in statuses:
+        fail(f"no status for responder {responder} in round {rnd} "
+             f"(have: {sorted(statuses)})")
+    status, attempts = statuses[responder]
+
+    print(f"session 0x{session:016x} round {rnd} responder {responder}: "
+          f"{status} after {attempts} attempt(s)")
+
+    chain_ids = rec.round_chains(session, rnd)
+    init_chains = [c for c in chain_ids
+                   if rec.chain_root(session, c)["node"] == INITIATOR]
+    resp_chains = [c for c in chain_ids
+                   if rec.chain_root(session, c)["node"] == responder]
+
+    for i, chain in enumerate(init_chains):
+        print(f"\nINIT chain 0x{chain:016x} (attempt {i + 1}):")
+        for ev in rec.chains[(session, chain)]:
+            if ev["kind"] == "tx" or ev.get("node") == responder:
+                print(fmt_event(ev))
+
+    if not resp_chains:
+        print(f"\nresponder {responder} transmitted no RESP this round")
+    for chain in resp_chains:
+        print(f"\nRESP chain 0x{chain:016x} (responder {responder}):")
+        for ev in rec.chains[(session, chain)]:
+            print(fmt_event(ev))
+
+    named = [ev for ev in round_events
+             if ev.get("node") == responder and ev["chain"] == 0
+             and ev["name"] != "responder_status"]
+    if named:
+        print(f"\nother events naming responder {responder}:")
+        for ev in named:
+            print(fmt_event(ev))
+
+    if status != "ok":
+        explain = explaining_events(rec, session, rnd, responder)
+        print(f"\nexplanation ({len(explain)} event(s)):")
+        for ev in explain:
+            print(fmt_event(ev))
+        if not explain:
+            print("  NO EXPLAINING EVENT FOUND")
+            return 1
+    return 0
+
+
+def cmd_check_all(rec: Recording) -> int:
+    checked = 0
+    unexplained = []
+    for (session, rnd), events in sorted(rec.rounds.items()):
+        for ev in events:
+            if ev["name"] != "responder_status":
+                continue
+            status = ev.get("detail", "?")
+            if status == "ok":
+                continue
+            checked += 1
+            if not explaining_events(rec, session, rnd, ev["node"]):
+                unexplained.append((session, rnd, ev["node"], status))
+    if unexplained:
+        print(f"{len(unexplained)} non-ok status(es) with no explaining "
+              f"event chain:", file=sys.stderr)
+        for session, rnd, node, status in unexplained:
+            print(f"  session 0x{session:016x} round {rnd} "
+                  f"responder {node}: {status}", file=sys.stderr)
+        return 1
+    print(f"all {checked} non-ok responder status(es) have an explaining "
+          f"event chain")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("recording")
+    parser.add_argument("--list", action="store_true",
+                        help="list sessions, rounds, and statuses")
+    parser.add_argument("--session", help="session id (hex)")
+    parser.add_argument("--round", type=int, help="round index (0-based)")
+    parser.add_argument("--responder", type=int, help="responder node id")
+    parser.add_argument("--check-all", action="store_true",
+                        help="require an explaining chain for every non-ok "
+                             "status; exit 1 otherwise")
+    args = parser.parse_args()
+
+    events, meta = load(args.recording)
+    if int(meta.get("dropped_events", 0)) > 0:
+        print(f"warning: recording dropped {meta['dropped_events']} events "
+              f"(ring overflow); narratives may be incomplete",
+              file=sys.stderr)
+    rec = Recording(events)
+
+    if args.list:
+        return cmd_list(rec)
+    if args.check_all:
+        return cmd_check_all(rec)
+    if args.session is None or args.round is None or args.responder is None:
+        parser.error("need --list, --check-all, or all of "
+                     "--session/--round/--responder")
+    return cmd_explain(rec, int(args.session, 16), args.round,
+                       args.responder)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

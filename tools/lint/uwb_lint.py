@@ -28,6 +28,11 @@ cannot know about:
                        equivalence contract is tested; a stray intrinsic
                        elsewhere silently breaks the scalar/sse2/avx2
                        forced-dispatch CI legs.
+  obs-event-literal    Flight-recorder and metrics record sites must name
+                       their event with a string literal and their kind
+                       with an FrKind enum constant; computed names would
+                       make the recording schema ungreppable and break the
+                       explain pipeline's vocabulary.
 
 Implementation: when libclang is importable the checker could parse real
 ASTs, but the baked toolchain ships without it, so the real path is a
@@ -400,6 +405,86 @@ def check_raw_intrinsics(src):
                 f"raw intrinsic '{m.group(1)}' outside src/simd/; "
                 "add a kernel to src/simd/ and call it through the "
                 "dispatch layer"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# obs-event-literal
+
+
+_OBS_RECORD_MACRO_RE = re.compile(
+    r"(?<!\w)(UWB_FR_EVENT|UWB_OBS_SPAN|UWB_OBS_COUNT|UWB_OBS_GAUGE_SET|"
+    r"UWB_OBS_HISTOGRAM)\s*\(")
+
+# The macro definitions (and the recorder's own tests of them) live here;
+# inside them the arguments are forwarded parameters, not call sites.
+_OBS_LITERAL_ALLOWED = ("src/obs/",)
+
+
+def _collect_call(src, line_no, col):
+    """Return (code_text, raw_text) of a balanced-paren argument list
+    starting just past the opening '(' at (line_no 1-based, col 0-based).
+
+    Paren depth is tracked on code_lines, where strings are blanked, so a
+    ')' inside a literal never closes the call; raw_lines supply the
+    parallel text (same columns) so literal checks can see the quotes.
+    """
+    depth = 1
+    code_parts, raw_parts = [], []
+    li, ci = line_no - 1, col
+    while li < len(src.code_lines):
+        cl, rl = src.code_lines[li], src.raw_lines[li]
+        while ci < len(cl):
+            ch = cl[ci]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    return "".join(code_parts), "".join(raw_parts)
+            code_parts.append(ch)
+            raw_parts.append(rl[ci] if ci < len(rl) else ch)
+            ci += 1
+        code_parts.append("\n")
+        raw_parts.append("\n")
+        li, ci = li + 1, 0
+    return "".join(code_parts), "".join(raw_parts)
+
+
+_FR_KIND_ENUM_RE = re.compile(
+    r"\.\s*kind\s*=\s*(?:::\s*)?(?:uwb\s*::\s*)?(?:obs\s*::\s*)?FrKind\s*::\s*k\w+")
+_FR_NAME_LITERAL_RE = re.compile(r"\.\s*name\s*=\s*\"")
+
+
+@rule("obs-event-literal")
+def check_obs_event_literal(src):
+    """Event names/kinds at record sites are literals/enum constants, so
+    the event vocabulary is greppable and tools can rely on it."""
+    if _in_dirs(src.path, _OBS_LITERAL_ALLOWED):
+        return []
+    findings = []
+    for i, line in enumerate(src.code_lines, start=1):
+        for m in _OBS_RECORD_MACRO_RE.finditer(line):
+            macro = m.group(1)
+            code_text, raw_text = _collect_call(src, i, m.end())
+            if macro == "UWB_FR_EVENT":
+                if not _FR_KIND_ENUM_RE.search(code_text):
+                    findings.append(Finding(
+                        src.path, i, "obs-event-literal",
+                        "UWB_FR_EVENT must set .kind to an FrKind::k* "
+                        "enum constant"))
+                if not _FR_NAME_LITERAL_RE.search(raw_text):
+                    findings.append(Finding(
+                        src.path, i, "obs-event-literal",
+                        "UWB_FR_EVENT must set .name to a string literal "
+                        "(the event vocabulary is part of the recording "
+                        "schema)"))
+            else:
+                if not raw_text.lstrip().startswith('"'):
+                    findings.append(Finding(
+                        src.path, i, "obs-event-literal",
+                        f"{macro} name must be a string literal, not an "
+                        "expression (metric names are a fixed vocabulary)"))
     return findings
 
 

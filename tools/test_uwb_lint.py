@@ -208,6 +208,57 @@ class LintFixtureTest(unittest.TestCase):
             "void f(double* d) { uwb::simd::scale(d, 2.0, 8); }\n"))
         self.assert_findings(p, "raw-intrinsics", [])
 
+    # -- obs-event-literal ------------------------------------------------
+
+    def test_obs_event_literal_clean_multiline(self):
+        p = self.write("src/sim/good_event.cpp", (
+            "void f(int rx, double amp) {\n"
+            "  UWB_FR_EVENT(.kind = obs::FrKind::kChannel,\n"
+            "               .name = \"delivered\", .node = rx,\n"
+            "               .v0 = {\"first_path_amp\", amp});\n"
+            "  UWB_OBS_COUNT(\"medium_frames_delivered\", 1);\n"
+            "}\n"))
+        self.assert_findings(p, "obs-event-literal", [])
+
+    def test_obs_event_computed_name_violation(self):
+        p = self.write("src/sim/bad_event.cpp", (
+            "void f(const char* what) {\n"
+            "  UWB_FR_EVENT(.kind = obs::FrKind::kRx, .name = what);\n"
+            "}\n"))
+        self.assert_findings(p, "obs-event-literal", [2])
+
+    def test_obs_event_missing_kind_violation(self):
+        p = self.write("src/sim/bad_event2.cpp", (
+            "void f(uwb::obs::FrKind k) {\n"
+            "  UWB_FR_EVENT(.kind = k, .name = \"delivered\");\n"
+            "}\n"))
+        self.assert_findings(p, "obs-event-literal", [2])
+
+    def test_obs_metric_computed_name_violation(self):
+        p = self.write("src/sim/bad_metric.cpp", (
+            "void f(const std::string& name) {\n"
+            "  UWB_OBS_COUNT(name.c_str(), 1);\n"
+            "  UWB_OBS_HISTOGRAM(name, buckets(), 2.0);\n"
+            "}\n"))
+        self.assert_findings(p, "obs-event-literal", [2, 3])
+
+    def test_obs_event_paren_in_string_arg(self):
+        # A ')' inside a literal must not close the argument list early.
+        p = self.write("src/sim/paren_event.cpp", (
+            "void f(int rx) {\n"
+            "  UWB_FR_EVENT(.kind = obs::FrKind::kRx,\n"
+            "               .name = \"rx_(weird)\",\n"
+            "               .node = rx);\n"
+            "}\n"))
+        self.assert_findings(p, "obs-event-literal", [])
+
+    def test_obs_event_literal_allowed_in_obs_dir(self):
+        # The macro definitions forward their parameters; not call sites.
+        p = self.write("src/obs/flight_recorder.hpp", (
+            "#define UWB_FR_EVENT(...) record(FrEvent{__VA_ARGS__})\n"
+            "void self_test(const char* n) { UWB_OBS_COUNT(n, 1); }\n"))
+        self.assert_findings(p, "obs-event-literal", [])
+
     # -- suppression ------------------------------------------------------
 
     def test_inline_suppression(self):
