@@ -20,6 +20,18 @@
 // responses, RX CRC (FCS) errors, the HPDWARN late delayed-TX abort,
 // responder dropout, reply-latency jitter, and crystal anomalies (drift
 // steps / counter epoch jumps).
+//
+// Faults model *benign* degradation: every plan here corresponds to
+// something a healthy-but-unlucky deployment does to itself. Deliberate
+// manipulation — clock-spoofing responders, ghost CIR taps injected ahead
+// of the true first path, replayed pulse shapes — lives in the sibling
+// adversary model (attack.hpp: AttackPlan / AttackInjector), which shares
+// this subsystem's determinism contract (per-attacker streams derived via
+// derive_seed, inert plans byte-identical to no-adversary runs) and is
+// policed by ranging::AttackDetector. Compose a FaultPlan with an
+// AttackPlan to study detection under realistic loss: the detector must
+// stay silent on a lossy-but-honest channel (see BenignFalsePositiveTest
+// and the benign_l30 bench cell) while indicting the attacks.
 #pragma once
 
 #include <cstdint>

@@ -19,6 +19,8 @@ const char* to_string(FrKind kind) {
     case FrKind::kDetect: return "detect";
     case FrKind::kTwr: return "twr";
     case FrKind::kStatus: return "status";
+    case FrKind::kAttack: return "attack";
+    case FrKind::kVerdict: return "verdict";
   }
   return "unknown";
 }

@@ -48,6 +48,8 @@ enum class FrKind : std::uint8_t {
   kDetect,   ///< search&subtract peak decisions
   kTwr,      ///< ranging math (timestamps consumed, distance produced)
   kStatus,   ///< session-level outcome (attempts, per-responder status)
+  kAttack,   ///< injected adversarial manipulation (src/fault/attack.hpp)
+  kVerdict,  ///< attack-detector decision (ranging::AttackDetector)
 };
 
 const char* to_string(FrKind kind);

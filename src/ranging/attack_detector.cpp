@@ -1,0 +1,202 @@
+#include "ranging/attack_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "dsp/signal.hpp"
+#include "dw1000/pulse.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/obs.hpp"
+#include "ranging/xcorr_id.hpp"
+
+namespace uwb::ranging {
+
+namespace {
+
+/// Peak normalised correlation of two unit-energy snippets over a small lag
+/// search (same +-1/4-window search XcorrIdentifier uses, absorbing the
+/// delayed-TX truncation shift).
+double peak_correlation(const CVec& probe, const CVec& ref) {
+  const auto np = static_cast<std::ptrdiff_t>(probe.size());
+  const auto nr = static_cast<std::ptrdiff_t>(ref.size());
+  const std::ptrdiff_t max_lag = np / 4;
+  double best = 0.0;
+  for (std::ptrdiff_t lag = -max_lag; lag <= max_lag; ++lag) {
+    Complex acc{};
+    for (std::ptrdiff_t i = std::max<std::ptrdiff_t>(0, lag);
+         i < std::min(np, np + lag); ++i) {
+      const std::ptrdiff_t j = i - lag;
+      if (j < 0 || j >= nr) continue;
+      acc += probe[static_cast<std::size_t>(i)] *
+             std::conj(ref[static_cast<std::size_t>(j)]);
+    }
+    best = std::max(best, std::abs(acc));
+  }
+  return std::min(best, 1.0);
+}
+
+/// Unit-energy window of the register's pulse template around its centre
+/// sample, sized to match an extract_snippet() probe of half-width
+/// `window_s`.
+CVec template_snippet(std::uint8_t reg, double ts_s, double window_s) {
+  const CVec& tmpl = dw::cached_pulse_template(reg, ts_s);
+  const auto n = static_cast<std::ptrdiff_t>(tmpl.size());
+  const auto centre =
+      static_cast<std::ptrdiff_t>(dw::template_centre_index(reg, ts_s));
+  const auto half = static_cast<std::ptrdiff_t>(std::ceil(window_s / ts_s));
+  CVec snippet;
+  for (std::ptrdiff_t i = centre - half; i <= centre + half; ++i)
+    snippet.push_back(i >= 0 && i < n ? tmpl[static_cast<std::size_t>(i)]
+                                      : Complex{});
+  return dsp::normalize_energy(snippet);
+}
+
+}  // namespace
+
+const char* to_string(AttackCheck check) {
+  switch (check) {
+    case AttackCheck::kCfoImplausible: return "cfo_implausible";
+    case AttackCheck::kReplySchedule: return "reply_schedule";
+    case AttackCheck::kGhostTail: return "ghost_tail";
+    case AttackCheck::kShapeMargin: return "shape_margin";
+    case AttackCheck::kUnknownId: return "unknown_id";
+  }
+  return "unknown";
+}
+
+void AttackDetectorConfig::validate() const {
+  UWB_EXPECTS(cfo_max_ppm > 0.0);
+  UWB_EXPECTS(reply_tolerance_s > 0.0);
+  UWB_EXPECTS(tail_gap_s >= 0.0);
+  UWB_EXPECTS(tail_window_s > tail_gap_s);
+  UWB_EXPECTS(min_tail_ratio >= 0.0);
+  UWB_EXPECTS(strong_peak_fraction >= 0.0 && strong_peak_fraction <= 1.0);
+  UWB_EXPECTS(min_shape_margin >= 0.0 && min_shape_margin <= 1.0);
+  UWB_EXPECTS(shape_window_s > 0.0);
+  UWB_EXPECTS(unknown_min_rel_amplitude >= 0.0 &&
+              unknown_min_rel_amplitude <= 1.0);
+}
+
+AttackDetector::AttackDetector(AttackDetectorConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+double AttackDetector::tail_energy_ratio(const CVec& cir_taps, double ts_s,
+                                         double tau_s, double gap_s,
+                                         double window_s) {
+  UWB_EXPECTS(ts_s > 0.0);
+  UWB_EXPECTS(window_s > gap_s);
+  if (cir_taps.empty()) return 0.0;
+  const auto n = static_cast<std::ptrdiff_t>(cir_taps.size());
+  const auto peak = static_cast<std::ptrdiff_t>(std::llround(tau_s / ts_s));
+  const double peak_energy =
+      peak >= 0 && peak < n
+          ? std::norm(cir_taps[static_cast<std::size_t>(peak)])
+          : 0.0;
+  if (peak_energy <= 0.0) return 0.0;
+  const auto lo = peak + static_cast<std::ptrdiff_t>(std::ceil(gap_s / ts_s));
+  const auto hi =
+      peak + static_cast<std::ptrdiff_t>(std::floor(window_s / ts_s));
+  double tail = 0.0;
+  for (std::ptrdiff_t i = std::max<std::ptrdiff_t>(peak + 1, lo);
+       i <= hi && i < n; ++i)
+    tail += std::norm(cir_taps[static_cast<std::size_t>(i)]);
+  return tail / peak_energy;
+}
+
+double AttackDetector::shape_margin(
+    const CVec& cir_taps, double ts_s, double tau_s, double window_s,
+    const std::vector<std::uint8_t>& shape_registers) {
+  if (shape_registers.size() < 2) return 1.0;
+  if (cir_taps.empty()) return 1.0;
+  const CVec probe =
+      XcorrIdentifier::extract_snippet(cir_taps, ts_s, tau_s, window_s);
+  double best = 0.0;
+  double second = 0.0;
+  for (const std::uint8_t reg : shape_registers) {
+    const double score =
+        peak_correlation(probe, template_snippet(reg, ts_s, window_s));
+    if (score > best) {
+      second = best;
+      best = score;
+    } else if (score > second) {
+      second = score;
+    }
+  }
+  return best - second;
+}
+
+std::vector<AttackVerdict> AttackDetector::detect(
+    const RoundView& round) const {
+  std::vector<AttackVerdict> verdicts;
+  if (!config_.enabled) return verdicts;
+  UWB_EXPECTS(round.cir != nullptr && round.detections != nullptr &&
+              round.estimates != nullptr && round.ranging != nullptr &&
+              round.configured_ids != nullptr);
+  UWB_EXPECTS(round.estimates->size() == round.detections->size());
+
+  const auto indict = [&verdicts](int responder_id, AttackCheck check,
+                                  double metric, double threshold,
+                                  double tau_s) {
+    verdicts.push_back({responder_id, check, metric, threshold, tau_s});
+    UWB_OBS_COUNT("attack_verdicts", 1);
+    UWB_FR_EVENT(.kind = obs::FrKind::kVerdict, .name = "verdict",
+                 .node = responder_id, .detail = to_string(check),
+                 .v0 = {"metric", metric}, .v1 = {"threshold", threshold},
+                 .v2 = {"tau_s", tau_s});
+  };
+
+  // Round-level checks indict the sync responder: its CFO and reported
+  // reply interval are the only ones the SS-TWR math consumes.
+  if (std::abs(round.cfo_ppm) > config_.cfo_max_ppm)
+    indict(round.sync_responder_id, AttackCheck::kCfoImplausible,
+           round.cfo_ppm, config_.cfo_max_ppm, 0.0);
+  const double reply_residual = round.reply_s - round.programmed_reply_s;
+  if (std::abs(reply_residual) > config_.reply_tolerance_s)
+    indict(round.sync_responder_id, AttackCheck::kReplySchedule,
+           reply_residual, config_.reply_tolerance_s, 0.0);
+
+  // Per-response checks over the round's CIR. Amplitude reference: the
+  // round's strongest detected response.
+  double strongest = 0.0;
+  for (const DetectedResponse& d : *round.detections)
+    strongest = std::max(strongest, std::abs(d.amplitude));
+  if (strongest <= 0.0) return verdicts;
+
+  const CVec& taps = round.cir->taps;
+  const double ts_s = round.cir->ts_s;
+  for (std::size_t i = 0; i < round.detections->size(); ++i) {
+    const DetectedResponse& det = (*round.detections)[i];
+    const ResponderEstimate& est = (*round.estimates)[i];
+    const double rel_amp = std::abs(det.amplitude) / strongest;
+
+    if (rel_amp >= config_.strong_peak_fraction) {
+      const double tail = tail_energy_ratio(taps, ts_s, det.tau_s,
+                                            config_.tail_gap_s,
+                                            config_.tail_window_s);
+      if (tail < config_.min_tail_ratio)
+        indict(est.responder_id, AttackCheck::kGhostTail, tail,
+               config_.min_tail_ratio, det.tau_s);
+
+      if (config_.min_shape_margin > 0.0) {
+        const double margin =
+            shape_margin(taps, ts_s, det.tau_s, config_.shape_window_s,
+                         round.ranging->shape_registers);
+        if (margin < config_.min_shape_margin)
+          indict(est.responder_id, AttackCheck::kShapeMargin, margin,
+                 config_.min_shape_margin, det.tau_s);
+      }
+    }
+
+    if (est.responder_id >= 0 &&
+        round.configured_ids->count(est.responder_id) == 0 &&
+        rel_amp >= config_.unknown_min_rel_amplitude)
+      indict(est.responder_id, AttackCheck::kUnknownId,
+             static_cast<double>(est.responder_id), rel_amp, det.tau_s);
+  }
+  return verdicts;
+}
+
+}  // namespace uwb::ranging

@@ -20,6 +20,14 @@ Meters ds_twr_distance(const DsTwrTimestamps& ts) {
   return distance_from_tof(ds_twr_tof(ts));
 }
 
+Seconds ds_twr_asymmetry_residual_s(const DsTwrTimestamps& ts) {
+  const double ra = ts.t_rx_resp.diff_seconds(ts.t_tx_poll).value();
+  const double da = ts.t_tx_final.diff_seconds(ts.t_rx_resp).value();
+  const double rb = ts.t_rx_final.diff_seconds(ts.t_tx_resp).value();
+  const double db = ts.t_tx_resp.diff_seconds(ts.t_rx_poll).value();
+  return Seconds((ra - db) / 2.0 - (rb - da) / 2.0);
+}
+
 DsTwrSession::DsTwrSession(DsTwrSessionConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
   UWB_EXPECTS(config_.response_delay > Seconds(0.0));

@@ -43,6 +43,20 @@ Seconds ds_twr_tof(const DsTwrTimestamps& ts);
 /// Asymmetric DS-TWR distance.
 Meters ds_twr_distance(const DsTwrTimestamps& ts);
 
+/// Consistency residual of the two half-exchanges: (Ra - Db)/2 and
+/// (Rb - Da)/2 each estimate the round's ToF on their own, and with honest
+/// clocks they disagree only by drift-scaled reply intervals (sub-ns at
+/// crystal-spec drift). Forging t_tx_resp alone cancels here (it enters Db
+/// and Rb with opposite signs) — but that naive forgery is already caught
+/// by the reply-schedule check, because it inflates the apparent reply
+/// interval Db. The residual catches the complementary, schedule-consistent
+/// forgery: a responder shifting BOTH reported t_rx_poll and t_tx_resp by
+/// +b keeps Db at the programmed reply (evading the schedule check) while
+/// shrinking the DS-TWR distance by ~c*b/4, and moves this residual by
+/// exactly +b/2. Together the two checks leave no timestamp-forgery
+/// direction unobserved.
+Seconds ds_twr_asymmetry_residual_s(const DsTwrTimestamps& ts);
+
 /// A two-node DS-TWR deployment running on the full radio simulation.
 struct DsTwrSessionConfig {
   geom::Room room = geom::Room::rectangular(20.0, 10.0);

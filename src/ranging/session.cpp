@@ -15,6 +15,9 @@ constexpr int kInitiatorId = -1;
 /// derive_seed stream tag separating the fault injector's RNG streams from
 /// every simulation stream (which fork from Rng(config.seed) directly).
 constexpr std::uint64_t kFaultSeedStream = 0xFA170001u;
+/// Stream tag of the attack injector: disjoint from the fault and
+/// simulation streams so an attack plan perturbs neither.
+constexpr std::uint64_t kAttackSeedStream = 0xA77AC001u;
 
 DetectorConfig make_detector_config(const ConcurrentRangingConfig& ranging) {
   DetectorConfig det = ranging.detector;
@@ -30,6 +33,7 @@ const char* to_string(RangingStatus status) {
     case RangingStatus::kCrcError: return "crc_error";
     case RangingStatus::kLateTxAbort: return "late_tx_abort";
     case RangingStatus::kTimedOut: return "timed_out";
+    case RangingStatus::kSuspect: return "suspect";
   }
   return "unknown";
 }
@@ -49,6 +53,8 @@ Status ConcurrentRangingScenario::validate_config(const ScenarioConfig& config) 
     config.ranging.validate();
     config.resilience.validate();
     config.fault.validate();
+    config.attack.validate();
+    config.attack_detector.validate();
   } catch (const PreconditionError& e) {
     return invalid(e.what());
   }
@@ -69,6 +75,12 @@ Status ConcurrentRangingScenario::validate_config(const ScenarioConfig& config) 
     if (!ids.insert(spec.id).second)
       return invalid("duplicate responder id " + std::to_string(spec.id));
   }
+  // A compromised node must exist to be compromised: every attacker id has
+  // to name a configured responder.
+  for (const fault::AttackSpec& spec : config.attack.specs)
+    if (ids.count(spec.attacker_id) == 0)
+      return invalid("attacker id " + std::to_string(spec.attacker_id) +
+                     " is not a configured responder");
   return Status::success();
 }
 
@@ -98,6 +110,19 @@ ConcurrentRangingScenario::ConcurrentRangingScenario(ScenarioConfig config)
         config_.fault, derive_seed(config_.seed, kFaultSeedStream));
     medium_->set_fault_injector(injector_.get());
   }
+
+  // Same contract as the fault injector: attack streams derive from the
+  // scenario seed through a disjoint tag, so an inert plan (and the inert
+  // default) stays byte-identical — including every CIR tap.
+  if (config_.attack.active()) {
+    attacker_ = std::make_unique<fault::AttackInjector>(
+        config_.attack, derive_seed(config_.seed, kAttackSeedStream));
+    medium_->set_attack_injector(attacker_.get());
+  }
+  if (config_.attack_detector.enabled)
+    attack_detector_ = std::make_unique<AttackDetector>(config_.attack_detector);
+  for (const ResponderSpec& spec : config_.responders)
+    configured_ids_.insert(spec.id);
 
   const auto make_node_config = [&](int id, geom::Vec2 pos) {
     sim::NodeConfig nc;
@@ -173,6 +198,14 @@ void ConcurrentRangingScenario::arm_responder(int responder_id) {
     resp.responder_id = static_cast<std::uint8_t>(responder_id);
     resp.rx_timestamp = r.rx_timestamp;
     resp.tx_timestamp = actual;
+    if (attacker_ != nullptr) {
+      // Clock-skew attack: a compromised responder reports a forged TX
+      // timestamp. Only the *payload* lies — the frame still leaves the
+      // antenna at `actual`, so truths and arrivals are untouched.
+      const double bias_s = attacker_->reply_timestamp_bias_s(responder_id);
+      if (bias_s != 0.0)
+        resp.tx_timestamp = actual.plus_seconds(Seconds(bias_s));
+    }
     if (!node.schedule_delayed_tx(resp, actual)) {
       // HPDWARN late abort (natural or injected): no frame leaves the
       // antenna; the round degrades instead of the run aborting.
@@ -244,6 +277,16 @@ RoundOutcome ConcurrentRangingScenario::run_round() {
                  .v2 = {"attempts", static_cast<double>(out.attempts)});
   }
   ++stats_.rounds;
+  const auto suspects = static_cast<std::uint64_t>(
+      std::count_if(out.responder_reports.begin(), out.responder_reports.end(),
+                    [](const ResponderReport& r) {
+                      return r.status == RangingStatus::kSuspect;
+                    }));
+  if (suspects > 0) {
+    stats_.suspect_reports += suspects;
+    ++stats_.suspect_rounds;
+    UWB_OBS_COUNT("session_suspect_reports", suspects);
+  }
   if (out.degraded) {
     ++stats_.degraded_rounds;
     UWB_OBS_COUNT("session_degraded_rounds", 1);
@@ -261,6 +304,7 @@ RoundOutcome ConcurrentRangingScenario::run_attempt() {
   muted_.clear();
   late_aborted_.clear();
 
+  if (attacker_ != nullptr) attacker_->begin_round();
   if (injector_ != nullptr) {
     injector_->begin_round();
     // Clock anomalies strike at round boundaries: drift steps perturb the
@@ -368,6 +412,26 @@ RoundOutcome ConcurrentRangingScenario::run_attempt() {
     out.estimates = interpret_responses(out.detections, config_.ranging,
                                         out.d_twr_m, sync_slot);
   }
+  if (attack_detector_ != nullptr) {
+    // Cross-check the round before slot-aware selection collapses the
+    // estimates: the detector needs the uncollapsed 1:1 detection/estimate
+    // pairing. Runs inside the sync chain scope, so verdict events land on
+    // the chain explain_session.py walks for this round.
+    UWB_OBS_SPAN("attack_detect");
+    RoundView view;
+    view.cfo_ppm = r.carrier_offset_ppm;
+    view.reply_s = ts.t_tx_resp.diff_seconds(ts.t_rx_resp).value();
+    view.programmed_reply_s =
+        config_.ranging.response_delay_s +
+        assign_responder(out.sync_responder_id, config_.ranging).extra_delay_s;
+    view.sync_responder_id = out.sync_responder_id;
+    view.cir = &out.cir;
+    view.detections = &out.detections;
+    view.estimates = &out.estimates;
+    view.ranging = &config_.ranging;
+    view.configured_ids = &configured_ids_;
+    out.verdicts = attack_detector_->detect(view);
+  }
   if (config_.slot_aware_selection)
     out.estimates = select_slot_responses(out.estimates, config_.ranging);
   return out;
@@ -403,6 +467,11 @@ void ConcurrentRangingScenario::fill_reports(RoundOutcome& out) const {
       rep.status = RangingStatus::kNoPreamble;  // RESP lost at the initiator
     } else if (!out.payload_decoded) {
       rep.status = RangingStatus::kCrcError;  // sync payload corrupted
+    } else if (std::any_of(out.verdicts.begin(), out.verdicts.end(),
+                           [id = id](const AttackVerdict& v) {
+                             return v.responder_id == id;
+                           })) {
+      rep.status = RangingStatus::kSuspect;  // indicted by a detector check
     } else {
       rep.status = RangingStatus::kOk;
     }

@@ -17,8 +17,10 @@
 #include "dw1000/cir.hpp"
 #include "dw1000/phy_config.hpp"
 #include "dw1000/timestamping.hpp"
+#include "fault/attack.hpp"
 #include "fault/fault.hpp"
 #include "geom/room.hpp"
+#include "ranging/attack_detector.hpp"
 #include "ranging/protocol.hpp"
 #include "ranging/search_subtract.hpp"
 #include "ranging/twr.hpp"
@@ -46,6 +48,10 @@ enum class RangingStatus {
   /// The initiator's RX window expired without attributing this responder
   /// (muted responder, or no RESP batch formed at all).
   kTimedOut,
+  /// The exchange completed but the AttackDetector indicted this responder
+  /// (see RoundOutcome::verdicts for the check and evidence). Overrides kOk
+  /// only: a responder that failed outright keeps its failure status.
+  kSuspect,
 };
 
 const char* to_string(RangingStatus status);
@@ -81,6 +87,10 @@ struct SessionStats {
   std::uint64_t degraded_rounds = 0;
   /// Rounds that still had no decoded payload after all retries.
   std::uint64_t failed_rounds = 0;
+  /// Per-responder kSuspect reports issued (sum over rounds).
+  std::uint64_t suspect_reports = 0;
+  /// Rounds with >= 1 kSuspect report.
+  std::uint64_t suspect_rounds = 0;
 };
 
 /// A responder taking part in the scenario. The ID determines its RPM slot
@@ -123,6 +133,13 @@ struct ScenarioConfig {
   /// all-zero plan leaves every RNG stream untouched, so results are
   /// byte-identical to a build without the subsystem.
   fault::FaultPlan fault;
+  /// Adversary model (inert by default; see src/fault/attack.hpp). Same
+  /// determinism contract as `fault`: an inactive plan is byte-identical to
+  /// a build without the subsystem, including every CIR tap.
+  fault::AttackPlan attack;
+  /// Attack cross-checks (off by default; see ranging/attack_detector.hpp).
+  /// Indicted responders report RangingStatus::kSuspect instead of kOk.
+  AttackDetectorConfig attack_detector;
   /// Retry/timeout/degradation policy.
   ResilienceConfig resilience;
   std::uint64_t seed = 1;
@@ -162,6 +179,9 @@ struct RoundOutcome {
   /// loses k of N responders still carries the survivors' estimates; the
   /// casualties are reported here instead of aborting the round.
   std::vector<ResponderReport> responder_reports;
+  /// AttackDetector indictments of the final attempt (empty when the
+  /// detector is off or every check passed).
+  std::vector<AttackVerdict> verdicts;
   /// Protocol attempts consumed (1 = no retry needed).
   int attempts = 1;
   /// Sync payload decoded but at least one responder is not kOk.
@@ -214,6 +234,10 @@ class ConcurrentRangingScenario {
 
   /// Fault injector (nullptr when the plan is inert).
   const fault::FaultInjector* fault_injector() const { return injector_.get(); }
+  /// Attack injector (nullptr when the adversary plan is inert).
+  const fault::AttackInjector* attack_injector() const {
+    return attacker_.get();
+  }
   /// Resilience bookkeeping since construction.
   const SessionStats& stats() const { return stats_; }
 
@@ -232,6 +256,10 @@ class ConcurrentRangingScenario {
   std::map<int, std::unique_ptr<sim::Node>> responders_;
   SearchSubtractDetector detector_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::AttackInjector> attacker_;
+  std::unique_ptr<AttackDetector> attack_detector_;
+  /// Deployed responder IDs (the attack detector's unknown_id ground set).
+  std::set<int> configured_ids_;
   SessionStats stats_;
 
   // Per-attempt state filled by the node callbacks.

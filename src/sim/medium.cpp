@@ -85,7 +85,7 @@ Medium::DeliverOutcome Medium::deliver(
     Node& rx, int tx_node_id, geom::Vec2 tx_pos, std::uint64_t frame_seed,
     const dw::MacFrame& frame, std::uint8_t tc_pgdelay, SimTime preamble_start,
     SimTime shr_sim, SimTime frame_sim, double tx_drift_ppm,
-    fault::FaultInjector* injector) {
+    fault::FaultInjector* injector, fault::AttackInjector* attack) {
   // Independent stream per (link, frame): the draw sequence of this link
   // cannot depend on which other receivers were realized before it.
   Rng link_rng(derive_seed(frame_seed, link_stream(tx_node_id, rx.id())));
@@ -132,11 +132,26 @@ Medium::DeliverOutcome Medium::deliver(
     af.preamble_missed =
         injector->miss_preamble(rx.id(), af.first_path_amplitude, frame_seed);
 
+  // Ghost-peak attack: adversarial taps ahead of the legitimate first path.
+  // Appended after the detectability scan on purpose — ghosts corrupt the
+  // rendered CIR (where first-path search happens) without changing which
+  // frames are deliverable, so a zero-strength plan stays byte-identical.
+  // `first` points into af.taps' buffer and the push_back may reallocate
+  // it, so the pointer is dead past this block — read the saved copies.
+  if (attack != nullptr) {
+    ghost_scratch_.clear();
+    attack->ghost_taps(tx_node_id, rx.id(), frame_seed, first->delay_s,
+                       af.first_path_amplitude, ghost_scratch_);
+    for (const fault::GhostTap& g : ghost_scratch_)
+      af.taps.push_back(channel::Tap{g.delay_s, g.amplitude, false, 0});
+    first = nullptr;
+  }
+
   UWB_FR_EVENT(.kind = obs::FrKind::kChannel, .name = "delivered",
                .chain = frame_seed, .t_ps = preamble_start.ps(),
                .node = rx.id(), .peer = tx_node_id,
                .v0 = {"first_path_amp", af.first_path_amplitude},
-               .v1 = {"delay_s", first->delay_s});
+               .v1 = {"delay_s", af.first_detectable_delay.value()});
 
   if (delivery_probe_) delivery_probe_(rx.id(), af);
 
@@ -172,10 +187,23 @@ void Medium::transmit(int tx_node_id, const dw::MacFrame& frame,
                .v0 = {"frame_seq", static_cast<double>(frame_seq_ - 1)},
                .v1 = {"frame_duration_s", frame_duration.value()});
 
-  // Loop-invariant across receivers: time conversions and the injector.
+  // Loop-invariant across receivers: time conversions and the injectors.
   const SimTime shr_sim = to_sim_time(shr_duration);
   const SimTime frame_sim = to_sim_time(frame_duration);
   fault::FaultInjector* const injector = fault_;
+  fault::AttackInjector* const attack = attack_;
+
+  // Transmit-side manipulations apply once per frame, after the chain-root
+  // frame_tx event so downstream attack events trace back to it: a
+  // compromised transmitter overstates its carrier (biasing the victim's
+  // CFO estimate) or swaps in a replayed pulse-shape register.
+  double effective_drift_ppm = tx_drift_ppm;
+  std::uint8_t effective_pgdelay = tc_pgdelay;
+  if (attack != nullptr) {
+    effective_drift_ppm += attack->cfo_spoof_ppm(tx_node_id, frame_seed);
+    const int forged = attack->forged_shape_register(tx_node_id, frame_seed);
+    if (forged >= 0) effective_pgdelay = static_cast<std::uint8_t>(forged);
+  }
 
   std::uint64_t delivered = 0;
   std::uint64_t culled = 0;
@@ -188,9 +216,10 @@ void Medium::transmit(int tx_node_id, const dw::MacFrame& frame,
       Node& rx = *nodes_[static_cast<std::size_t>(idx)];
       if (rx.id() == tx_node_id) continue;
       CellTraffic& traffic = cell_traffic_entry(grid_.key_of(rx.position()));
-      if (deliver(rx, tx_node_id, tx_pos, frame_seed, frame, tc_pgdelay,
-                  preamble_start, shr_sim, frame_sim, tx_drift_ppm,
-                  injector) == DeliverOutcome::kDelivered) {
+      if (deliver(rx, tx_node_id, tx_pos, frame_seed, frame,
+                  effective_pgdelay, preamble_start, shr_sim, frame_sim,
+                  effective_drift_ppm, injector,
+                  attack) == DeliverOutcome::kDelivered) {
         ++delivered;
         ++traffic.delivered;
       } else {
@@ -221,9 +250,10 @@ void Medium::transmit(int tx_node_id, const dw::MacFrame& frame,
   } else {
     for (Node* rx : nodes_) {
       if (rx->id() == tx_node_id) continue;
-      if (deliver(*rx, tx_node_id, tx_pos, frame_seed, frame, tc_pgdelay,
-                  preamble_start, shr_sim, frame_sim, tx_drift_ppm,
-                  injector) == DeliverOutcome::kDelivered) {
+      if (deliver(*rx, tx_node_id, tx_pos, frame_seed, frame,
+                  effective_pgdelay, preamble_start, shr_sim, frame_sim,
+                  effective_drift_ppm, injector,
+                  attack) == DeliverOutcome::kDelivered) {
         ++delivered;
       }
     }

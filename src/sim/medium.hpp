@@ -27,6 +27,7 @@
 #include "common/units.hpp"
 #include "dw1000/frame.hpp"
 #include "dw1000/phy_config.hpp"
+#include "fault/attack.hpp"
 #include "fault/fault.hpp"
 #include "geom/grid.hpp"
 #include "obs/metrics.hpp"
@@ -137,6 +138,15 @@ class Medium {
   }
   fault::FaultInjector* fault_injector() const { return fault_; }
 
+  /// Install an attack injector (non-owning; nullptr = no adversary).
+  /// Transmit-side manipulations (carrier overshoot, forged pulse shape)
+  /// and per-link ghost CIR taps are applied here; sessions reach the
+  /// injector directly for reply-timestamp bias.
+  void set_attack_injector(fault::AttackInjector* injector) {
+    attack_ = injector;
+  }
+  fault::AttackInjector* attack_injector() const { return attack_; }
+
   /// Resolved interference radius [m]; +infinity when the channel model
   /// admits no finite bound.
   double interference_radius_m() const { return interference_radius_m_; }
@@ -180,13 +190,17 @@ class Medium {
                          std::uint64_t frame_seed, const dw::MacFrame& frame,
                          std::uint8_t tc_pgdelay, SimTime preamble_start,
                          SimTime shr_sim, SimTime frame_sim,
-                         double tx_drift_ppm, fault::FaultInjector* injector);
+                         double tx_drift_ppm, fault::FaultInjector* injector,
+                         fault::AttackInjector* attack);
   CellTraffic& cell_traffic_entry(geom::CellKey key);
 
   Simulator& sim_;
   channel::ChannelModel model_;
   MediumParams params_;
   fault::FaultInjector* fault_ = nullptr;
+  fault::AttackInjector* attack_ = nullptr;
+  /// Scratch for ghost-tap queries (avoids per-delivery allocation).
+  std::vector<fault::GhostTap> ghost_scratch_;
 
   /// Base of the per-(link, frame) channel seed hierarchy: one draw from
   /// the Rng the medium was constructed with, so existing scenario seeding

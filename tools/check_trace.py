@@ -31,7 +31,8 @@ def fail(message: str) -> "NoReturn":  # noqa: F821
     sys.exit(1)
 
 
-FLIGHT_KINDS = {"tx", "channel", "rx", "fault", "detect", "twr", "status"}
+FLIGHT_KINDS = {"tx", "channel", "rx", "fault", "detect", "twr", "status",
+                "attack", "verdict"}
 FLIGHT_FIELDS = ("session", "round", "chain", "t_ps", "kind", "name")
 
 

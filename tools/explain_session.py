@@ -22,8 +22,10 @@ Modes:
         For every non-ok responder status in the recording, require at
         least one explaining event (a fault naming the responder, a lost
         INIT copy at the responder, a lost/corrupted RESP at the
-        initiator, or an aborted delayed TX). Exits 1 listing any status
-        with no explaining event chain — the obs-smoke CI gate.
+        initiator, an aborted delayed TX, or — for "suspect" statuses —
+        an attack-detector verdict or injected-attack event naming the
+        responder). Exits 1 listing any status with no explaining event
+        chain — the obs-smoke and adversarial-stress CI gates.
 
 Stdlib only.
 """
@@ -138,6 +140,11 @@ def explaining_events(rec: Recording, session, rnd, responder):
     for ev in round_events:
         # Faults and aborted delayed transmissions striking the responder.
         if ev["kind"] == "fault" and ev.get("node") == responder:
+            found.append(ev)
+        # Attack-detector verdicts indicting the responder (a "suspect"
+        # status), and the injected attacks behind them.
+        elif (ev["kind"] in ("verdict", "attack")
+              and ev.get("node") == responder):
             found.append(ev)
         elif ev["name"] == "delayed_tx_abort" and ev.get("node") == responder:
             found.append(ev)

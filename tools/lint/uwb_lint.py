@@ -203,6 +203,17 @@ _RAW_RANDOM_PATTERNS = [
 # may enter; everything else derives from them.
 _RAW_RANDOM_ALLOWED = ("src/runner/", "src/common/random.")
 
+# Fault/attack injection carries a stricter contract on top: every stream
+# must be owned by the injector (derive_seed from its stream base), keyed
+# by stable identifiers (node id, frame chain), and never forked from or
+# shared with a simulation RNG. Forking couples the injected sequence to
+# the parent's consumption order; a literal or sim-owned seed silently
+# breaks the zero-probability-plans-are-byte-identical contract.
+_FAULT_SCOPE = ("src/fault/",)
+_FAULT_FORK_RE = re.compile(r"\.\s*fork\s*\(")
+_FAULT_RNG_CTOR_RE = re.compile(
+    r"(?<![\w:])Rng\s*(?:\w+\s*)?\(\s*(?!derive_seed\b)")
+
 
 @rule("no-raw-random")
 def check_no_raw_random(src):
@@ -210,12 +221,27 @@ def check_no_raw_random(src):
     if _in_dirs(src.path, _RAW_RANDOM_ALLOWED):
         return []
     findings = []
+    in_fault_scope = _in_dirs(src.path, _FAULT_SCOPE)
     for i, line in enumerate(src.code_lines, start=1):
         for pat, why in _RAW_RANDOM_PATTERNS:
             if pat.search(line):
                 findings.append(Finding(
                     src.path, i, "no-raw-random",
                     f"{why}; route randomness through uwb::Rng / derive_seed"))
+        if not in_fault_scope:
+            continue
+        if _FAULT_FORK_RE.search(line):
+            findings.append(Finding(
+                src.path, i, "no-raw-random",
+                "fork() in fault/attack code couples injected draws to the "
+                "parent RNG's consumption order; derive an injector-owned "
+                "stream with derive_seed(stream_base, key) instead"))
+        if _FAULT_RNG_CTOR_RE.search(line):
+            findings.append(Finding(
+                src.path, i, "no-raw-random",
+                "fault/attack Rng must be constructed from an "
+                "injector-owned derive_seed(...) stream, not a literal or "
+                "externally-owned seed"))
     return findings
 
 

@@ -74,6 +74,37 @@ class LintFixtureTest(unittest.TestCase):
                        "auto s = time(NULL);\n")
         self.assert_findings(p, "no-raw-random", [1])
 
+    def test_fault_scope_fork_and_literal_seed_violation(self):
+        p = self.write("src/fault/bad_attack.cpp", (
+            "#include \"common/random.hpp\"\n"
+            "void jam(uwb::Rng& parent) {\n"
+            "  uwb::Rng child = parent.fork();\n"
+            "  Rng rogue(12345);\n"
+            "  (void)child; (void)rogue;\n"
+            "}\n"))
+        self.assert_findings(p, "no-raw-random", [3, 4])
+
+    def test_fault_scope_injector_owned_streams_clean(self):
+        p = self.write("src/fault/good_attack.cpp", (
+            "#include \"common/random.hpp\"\n"
+            "struct NodeState {\n"
+            "  Rng rng;\n"
+            "  explicit NodeState(std::uint64_t seed) : rng(seed) {}\n"
+            "};\n"
+            "void inject(std::uint64_t base, std::uint64_t chain) {\n"
+            "  Rng rng(derive_seed(base, chain));\n"
+            "  const std::uint64_t seed = derive_seed(base, 7);\n"
+            "  NodeState state(seed);\n"
+            "  (void)rng; (void)state;\n"
+            "}\n"))
+        self.assert_findings(p, "no-raw-random", [])
+
+    def test_fork_outside_fault_scope_allowed(self):
+        p = self.write("src/sim/forker.cpp", (
+            "void split(uwb::Rng& parent) { auto child = parent.fork(); "
+            "(void)child; }\n"))
+        self.assert_findings(p, "no-raw-random", [])
+
     # -- no-wall-clock-in-sim ---------------------------------------------
 
     def test_wall_clock_violation(self):
