@@ -1,5 +1,6 @@
 #include "channel/saleh_valenzuela.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/expects.hpp"
@@ -18,6 +19,13 @@ std::vector<DiffuseRay> draw_diffuse_tail(const SalehValenzuelaParams& params,
     double mean_power = 0.0;
   };
   std::vector<RawRay> raw;
+  // Expected arrival count: clusters arriving at cluster_rate over the
+  // window, each spawning rays at ray_rate over (on average) half the
+  // remaining window.  A capacity hint — the draw itself is unbounded.
+  const double exp_clusters = params.window_s * params.cluster_rate_hz + 1.0;
+  const double exp_rays_per = 0.5 * params.window_s * params.ray_rate_hz + 1.0;
+  raw.reserve(static_cast<std::size_t>(
+      std::min(4096.0, exp_clusters * exp_rays_per)));
 
   // Cluster arrivals (first cluster pinned at the LOS arrival).
   double cluster_t = 0.0;

@@ -204,6 +204,9 @@ const FftPlan& plan_for(std::size_t n) {
   if (it == cache.plans.end()) {
     ++cache.misses;
     UWB_OBS_COUNT("cache_fft_plan_misses", 1);
+    // One allocation per distinct transform size, then cached for the
+    // process lifetime; the detect loop runs on the last_n fast path.
+    // uwb-lint: allow(hot-path-alloc)
     it = cache.plans.emplace(n, std::make_unique<FftPlan>(n)).first;
   } else {
     ++cache.hits;

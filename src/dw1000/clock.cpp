@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "common/expects.hpp"
 
 namespace uwb::dw {
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/expects.hpp"
+#include "common/random.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
@@ -167,6 +168,7 @@ void AttackInjector::ghost_taps(int tx_node_id, int rx_node_id,
   Rng rng(derive_seed(derive_seed(attacker_stream(tx_node_id), chain),
                       rx_lane(rx_node_id)));
   const double amp = s->ghost_rel_amplitude * first_path_amplitude;
+  out.reserve(out.size() + static_cast<std::size_t>(s->ghost_count));
   for (int i = 0; i < s->ghost_count; ++i) {
     GhostTap tap;
     tap.delay_s = std::max(

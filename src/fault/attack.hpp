@@ -37,7 +37,6 @@
 #include <map>
 #include <vector>
 
-#include "common/random.hpp"
 #include "common/types.hpp"
 
 namespace uwb::fault {

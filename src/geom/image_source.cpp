@@ -38,6 +38,12 @@ std::vector<SpecularPath> compute_paths(const Room& room, Vec2 tx, Vec2 rx,
                                         int max_order) {
   UWB_EXPECTS(max_order >= 0 && max_order <= 2);
   std::vector<SpecularPath> paths;
+  // LOS + one first-order path per wall + one second-order path per
+  // ordered wall pair bounds the growth exactly.
+  const std::size_t n_walls = room.walls().size();
+  paths.reserve(max_order == 0   ? 1
+                : max_order == 1 ? 1 + n_walls
+                                 : 1 + n_walls + n_walls * n_walls);
 
   SpecularPath los;
   los.length_m = distance(tx, rx);

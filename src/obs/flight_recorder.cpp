@@ -35,6 +35,8 @@ FrShard::FrShard(int id, std::size_t capacity) : id_(id) {
   ring_.resize(capacity);
 }
 
+// uwb-hot-path: every typed event from channel/RX/detect/TWR lands here;
+// the ring slot reuse is what keeps recording allocation-free.
 void FrShard::record(const FrEvent& event) {
   const FrContext& ctx = fr_context();
   FrRecord& slot = ring_[head_];

@@ -78,6 +78,8 @@ std::size_t Histogram::bucket_index(double value) const {
   return static_cast<std::size_t>(it - buckets_.uppers.begin());
 }
 
+// uwb-hot-path: metric record path; called from spans on the detector and
+// medium hot loops, so it must stay pure arithmetic on preallocated state.
 void Histogram::observe(double value) {
   ++counts_[bucket_index(value)];
   if (count_ == 0) {

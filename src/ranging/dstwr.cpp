@@ -1,6 +1,5 @@
 #include "ranging/dstwr.hpp"
 
-#include "common/constants.hpp"
 #include "common/expects.hpp"
 
 namespace uwb::ranging {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "common/constants.hpp"
 #include "common/expects.hpp"
 #include "ranging/twr.hpp"
 

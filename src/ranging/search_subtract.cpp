@@ -417,6 +417,8 @@ void SearchSubtractDetector::prepare_residual(const CVec& cir_taps,
   }
 }
 
+// uwb-hot-path: the per-template correlation inner loop dominates detect
+// latency (bench_detect); lint enforces that no transitive callee allocates.
 void SearchSubtractDetector::bank_correlate(const TemplateBank& bank,
                                             FastState& st) const {
   // Step 2 (first iteration): one pointwise multiply + inverse transform

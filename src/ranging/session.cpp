@@ -7,6 +7,7 @@
 #include "common/expects.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
+#include "ranging/twr.hpp"
 
 namespace uwb::ranging {
 

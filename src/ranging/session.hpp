@@ -23,7 +23,6 @@
 #include "ranging/attack_detector.hpp"
 #include "ranging/protocol.hpp"
 #include "ranging/search_subtract.hpp"
-#include "ranging/twr.hpp"
 #include "sim/medium.hpp"
 #include "sim/node.hpp"
 #include "sim/simulator.hpp"

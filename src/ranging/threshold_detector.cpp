@@ -5,7 +5,6 @@
 
 #include "common/expects.hpp"
 #include "dsp/peaks.hpp"
-#include "dsp/resample.hpp"
 #include "dsp/signal.hpp"
 #include "dw1000/pulse.hpp"
 

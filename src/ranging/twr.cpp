@@ -1,6 +1,5 @@
 #include "ranging/twr.hpp"
 
-#include "common/constants.hpp"
 #include "common/expects.hpp"
 #include "obs/flight_recorder.hpp"
 

@@ -81,6 +81,8 @@ CellTraffic& Medium::cell_traffic_entry(geom::CellKey key) {
   return *it;
 }
 
+// uwb-hot-path: runs once per (tx, candidate-rx) pair per frame — the
+// medium's fan-out loop is the scale bottleneck (bench_ext_scale).
 Medium::DeliverOutcome Medium::deliver(
     Node& rx, int tx_node_id, geom::Vec2 tx_pos, std::uint64_t frame_seed,
     const dw::MacFrame& frame, std::uint8_t tc_pgdelay, SimTime preamble_start,
@@ -142,6 +144,7 @@ Medium::DeliverOutcome Medium::deliver(
     ghost_scratch_.clear();
     attack->ghost_taps(tx_node_id, rx.id(), frame_seed, first->delay_s,
                        af.first_path_amplitude, ghost_scratch_);
+    af.taps.reserve(af.taps.size() + ghost_scratch_.size());
     for (const fault::GhostTap& g : ghost_scratch_)
       af.taps.push_back(channel::Tap{g.delay_s, g.amplitude, false, 0});
     first = nullptr;

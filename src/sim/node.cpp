@@ -132,7 +132,9 @@ void Node::on_air_frame(AirFrame af) {
                  .chain = af.chain, .node = config_.id, .peer = af.tx_node_id,
                  .v0 = {"first_path_amp", af.first_path_amplitude});
     sim_.at(af.frame_end_arrival + kFinalizeMargin, [this]() { finalize_batch(); });
-    pending_.push_back(std::move(af));
+    // clear() keeps capacity, so pending_ reallocates only while ramping
+    // to the largest batch seen; steady state is allocation-free.
+    pending_.push_back(std::move(af));  // uwb-lint: allow(hot-path-alloc)
     return;
   }
   // Later frames join the batch only if their preamble overlaps the
@@ -142,7 +144,8 @@ void Node::on_air_frame(AirFrame af) {
     UWB_FR_EVENT(.kind = obs::FrKind::kRx, .name = "rx_batch_join",
                  .chain = af.chain, .node = config_.id, .peer = af.tx_node_id,
                  .v0 = {"batch_size", static_cast<double>(pending_.size() + 1)});
-    pending_.push_back(std::move(af));
+    // Same steady-state-capacity argument as the batch-leader push above.
+    pending_.push_back(std::move(af));  // uwb-lint: allow(hot-path-alloc)
   } else {
     UWB_FR_EVENT(.kind = obs::FrKind::kRx, .name = "rx_late_for_batch",
                  .chain = af.chain, .node = config_.id, .peer = af.tx_node_id);
@@ -170,6 +173,9 @@ void Node::finalize_batch() {
       sync->preamble_start_arrival.seconds() -
       static_cast<double>(config_.cir_anchor_taps) * config_.cir.ts_s;
   std::vector<dw::CirArrival> arrivals;
+  std::size_t n_taps = 0;
+  for (const AirFrame& af : pending_) n_taps += af.taps.size();
+  arrivals.reserve(n_taps);
   for (const AirFrame& af : pending_) {
     const double tx_ref_s =
         af.preamble_start_arrival.seconds() - af.first_detectable_delay.value();

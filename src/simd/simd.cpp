@@ -206,6 +206,11 @@ const detail::KernelTable* table_for(Level level) {
 /// a forced CI leg must never silently run a narrower path) or the widest
 /// supported level.
 Level resolve_startup_level() {
+  // Process-wide dispatch pin, read exactly once at first use; an
+  // unsupported value aborts instead of diverging, so results can depend
+  // on it only by refusing to run (the forced-dispatch CI legs rely on
+  // exactly this).
+  // uwb-lint: allow(sim-host-io)
   const char* env = std::getenv("UWB_SIMD_LEVEL");
   if (env != nullptr && env[0] != '\0') {
     const auto parsed = parse_level(env);

@@ -1,0 +1,1220 @@
+#!/usr/bin/env python3
+"""cpp_index: a pure-stdlib approximate semantic index of the C++ tree.
+
+libclang is unavailable in the baked toolchain, so this module builds the
+best index a structured scanner can: per-TU symbol tables (functions,
+methods, classes with qualified names), an include graph, and an
+approximate call graph resolved by qualified-name and overload-arity
+matching.  The flow-aware lint rules (tools/lint/flow_rules.py) and the
+iwyu-lite check (tools/lint/run_iwyu_lite.py) run on top of it.
+
+The model is deliberately approximate; DESIGN.md Sect. 16 states the
+contract precisely.  In short:
+
+  resolved    in-class and out-of-line member functions (``Medium::deliver``),
+              qualified free calls (``dsp::energy(...)``), unqualified calls
+              (preferring same-class methods, then same-namespace free
+              functions), member calls by method name across all classes
+              (an over-approximation), overload selection by arity when the
+              argument count matches some overload.
+  unresolved  calls through macros (``UWB_FR_EVENT(...)`` has no function
+              definition, so it creates no edge), dependent calls in
+              templates whose method name exists nowhere in the tree,
+              infix operator-overload uses (``a + b``), calls through
+              function pointers / std::function values, and anything in
+              ``namespace std`` (``std::`` qualified calls never resolve to
+              project symbols).
+  attribution calls inside a lambda body are attributed to the enclosing
+              function — sound for reachability, since the lambda cannot
+              run before the enclosing scope constructed it.
+
+Parsing runs over comment-/string-stripped text (shared with uwb_lint), so
+prose never produces symbols; preprocessor lines are blanked from the
+scope scanner (macro bodies with braces would desynchronize it) after
+includes and #define names are harvested from the raw text.
+
+The index caches per-file parse results keyed on file content hashes
+(``--index-cache``): incremental runs re-parse only changed files, which
+keeps the CI lint job's full analysis well under its 3-minute budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import uwb_lint  # noqa: E402  (shared source model: stripper, suppressions)
+
+CACHE_VERSION = 1
+
+
+def _cache_signature():
+    """Cache key component covering the analyzer's own code: editing the
+    parser must invalidate every cached parse, not just reparses of edited
+    C++ files."""
+    h = hashlib.sha256()
+    here = os.path.dirname(os.path.abspath(__file__))
+    for name in ("cpp_index.py", "uwb_lint.py"):
+        try:
+            with open(os.path.join(here, name), "rb") as f:
+                h.update(f.read())
+        except OSError:
+            pass
+    return f"{CACHE_VERSION}:{h.hexdigest()[:16]}"
+
+# ---------------------------------------------------------------------------
+# Records.  Plain dicts via to_dict/from_dict so the cache stays schema-free
+# JSON; attribute access goes through lightweight classes.
+
+
+class CallRec:
+    __slots__ = ("qual", "leaf", "arity", "line", "member")
+
+    def __init__(self, qual, leaf, arity, line, member):
+        self.qual = qual          # explicit qualifier as written ('' if none)
+        self.leaf = leaf          # callee identifier
+        self.arity = arity        # top-level comma count heuristic
+        self.line = line          # 1-based
+        self.member = member      # preceded by '.' or '->'
+
+    def to_dict(self):
+        return [self.qual, self.leaf, self.arity, self.line, self.member]
+
+    @staticmethod
+    def from_dict(d):
+        return CallRec(*d)
+
+
+class FuncRec:
+    __slots__ = (
+        "qname", "leaf", "qual", "parent_class", "path", "line", "end_line",
+        "params_min", "params_max", "return_type", "is_def", "hot_path",
+        "derive_seed", "calls", "banned_io", "fma", "allocs", "reserves",
+        "rng_ctors", "reductions", "locals_unordered", "namespace")
+
+    def __init__(self, **kw):
+        for s in FuncRec.__slots__:
+            setattr(self, s, kw.get(s))
+        self.calls = self.calls or []
+        self.banned_io = self.banned_io or []
+        self.fma = self.fma or []
+        self.allocs = self.allocs or []
+        self.reserves = self.reserves or []
+        self.rng_ctors = self.rng_ctors or []
+        self.reductions = self.reductions or []
+        self.locals_unordered = self.locals_unordered or {}
+
+    def to_dict(self):
+        d = {s: getattr(self, s) for s in FuncRec.__slots__ if s != "calls"}
+        d["calls"] = [c.to_dict() for c in self.calls]
+        return d
+
+    @staticmethod
+    def from_dict(d):
+        d = dict(d)
+        d["calls"] = [CallRec.from_dict(c) for c in d.get("calls", [])]
+        return FuncRec(**d)
+
+
+class ClassRec:
+    __slots__ = ("qname", "leaf", "path", "line", "members")
+
+    def __init__(self, qname, leaf, path, line, members=None):
+        self.qname = qname
+        self.leaf = leaf
+        self.path = path
+        self.line = line
+        self.members = members or {}  # name -> container kind
+
+    def to_dict(self):
+        return {"qname": self.qname, "leaf": self.leaf, "path": self.path,
+                "line": self.line, "members": self.members}
+
+    @staticmethod
+    def from_dict(d):
+        return ClassRec(d["qname"], d["leaf"], d["path"], d["line"],
+                        d.get("members"))
+
+
+class TU:
+    __slots__ = ("path", "sha", "includes", "functions", "classes",
+                 "provides", "defines", "globals_unordered", "fma_pragmas",
+                 "suppressed")
+
+    def __init__(self, **kw):
+        for s in TU.__slots__:
+            setattr(self, s, kw.get(s))
+        self.includes = self.includes or []
+        self.functions = self.functions or []
+        self.classes = self.classes or []
+        self.provides = self.provides or []
+        self.defines = self.defines or []
+        self.globals_unordered = self.globals_unordered or {}
+        self.fma_pragmas = self.fma_pragmas or []
+        self.suppressed = self.suppressed or {}
+
+    def to_dict(self):
+        return {
+            "path": self.path, "sha": self.sha, "includes": self.includes,
+            "functions": [f.to_dict() for f in self.functions],
+            "classes": [c.to_dict() for c in self.classes],
+            "provides": self.provides, "defines": self.defines,
+            "globals_unordered": self.globals_unordered,
+            "fma_pragmas": self.fma_pragmas,
+            "suppressed": {str(k): sorted(v)
+                           for k, v in self.suppressed.items()},
+        }
+
+    @staticmethod
+    def from_dict(d):
+        return TU(
+            path=d["path"], sha=d["sha"], includes=d["includes"],
+            functions=[FuncRec.from_dict(f) for f in d["functions"]],
+            classes=[ClassRec.from_dict(c) for c in d["classes"]],
+            provides=d["provides"], defines=d["defines"],
+            globals_unordered=d["globals_unordered"],
+            fma_pragmas=d["fma_pragmas"],
+            suppressed={int(k): set(v)
+                        for k, v in d.get("suppressed", {}).items()},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Lexical helpers.
+
+_CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "do", "else", "new",
+    "delete", "sizeof", "alignof", "decltype", "noexcept", "alignas",
+    "static_assert", "assert", "case", "goto", "throw", "using", "template",
+    "typename", "requires", "concept", "co_await", "co_return", "co_yield",
+    "void", "int", "bool", "char", "double", "float", "auto", "defined",
+    "operator", "this", "constexpr", "const", "static", "inline",
+}
+
+# Member-call names that in practice always hit the standard library; an
+# edge to a same-named project method would be a false dependency.
+_STD_MEMBER_BLOCKLIST = {
+    "size", "empty", "clear", "begin", "end", "cbegin", "cend", "rbegin",
+    "rend", "push_back", "emplace_back", "pop_back", "front", "back", "data",
+    "at", "find", "insert", "erase", "count", "reserve", "resize", "swap",
+    "assign", "emplace", "first", "second", "c_str", "str", "substr",
+    "append", "length", "get", "release", "real", "imag", "load", "store",
+    "fetch_add", "exchange", "lock", "unlock", "join", "detach", "push",
+    "pop", "top", "contains", "lower_bound", "upper_bound", "native_handle",
+}
+
+# Unqualified free-call names that never mean a project function.
+_STD_FREE_BLOCKLIST = {
+    "move", "forward", "swap", "min", "max", "abs", "sqrt", "get",
+    "make_pair", "make_tuple", "tie", "to_string", "snprintf", "sscanf",
+    "printf", "fprintf", "memcpy", "memset", "memmove", "strlen", "strcmp",
+}
+
+_SPECIFIER_WORDS = {
+    "static", "inline", "constexpr", "consteval", "constinit", "virtual",
+    "explicit", "friend", "extern", "mutable", "typename", "register",
+}
+
+
+def _line_of(offsets, pos):
+    """1-based line of character offset `pos` given sorted line-start
+    offsets."""
+    lo, hi = 0, len(offsets) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if offsets[mid] <= pos:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo + 1
+
+
+def _balanced_span(text, open_pos):
+    """End index (exclusive of the closing paren) of the '(' at open_pos.
+    Returns len(text) when unbalanced."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text)
+
+
+def _split_top_commas(text):
+    """Split on commas at paren/brace/bracket depth 0 (angle brackets are
+    not tracked: template-argument commas overcount, which the arity
+    matcher treats as a soft signal only)."""
+    parts, depth, start = [], 0, 0
+    for i, c in enumerate(text):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    return parts
+
+
+def _strip_templates(head):
+    """Remove leading `template <...>` headers (balanced angles)."""
+    h = head.lstrip()
+    while h.startswith("template"):
+        m = re.match(r"template\s*<", h)
+        if not m:
+            break
+        depth, i = 0, m.end() - 1
+        while i < len(h):
+            if h[i] == "<":
+                depth += 1
+            elif h[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        h = h[i + 1:].lstrip()
+    return h
+
+
+def _container_kind(type_text):
+    """'unordered', 'ptr_key', or None for a declaration's type text.
+
+    ptr_key: an ordered associative container keyed by pointer — its
+    iteration order is deterministic *within* a run but varies across runs
+    with allocation addresses, which breaks replay just the same.
+    """
+    m = re.search(r"\bunordered_(?:map|set|multimap|multiset)\s*<", type_text)
+    if m:
+        first = _split_top_commas(
+            _angle_body(type_text, m.end() - 1))[0]
+        return "ptr_key" if "*" in first else "unordered"
+    m = re.search(r"\bstd\s*::\s*(?:map|set|multimap|multiset)\s*<",
+                  type_text)
+    if m:
+        first = _split_top_commas(_angle_body(type_text, m.end() - 1))[0]
+        if "*" in first:
+            return "ptr_key"
+    return None
+
+
+def _angle_body(text, open_pos):
+    """Text inside the '<' at open_pos (naive angle matching; good enough
+    for type contexts, where shifts do not appear)."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "<":
+            depth += 1
+        elif text[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return text[open_pos + 1:i]
+    return text[open_pos + 1:]
+
+
+# ---------------------------------------------------------------------------
+# Head classification (what does this '{' open?).
+
+_NAMESPACE_RE = re.compile(r"(?:^|\s)namespace(?:\s+([\w:]+))?\s*$")
+_CLASS_RE = re.compile(
+    r"(?:^|[^\w])(?:class|struct|union)\s+(?:\[\[[^\]]*\]\]\s*)?"
+    r"(?:alignas\s*\([^)]*\)\s*)?([A-Za-z_]\w*)\s*"
+    r"(?:final\s*)?(?::[^{;]*)?$")
+_ENUM_RE = re.compile(
+    r"(?:^|[^\w])enum(?:\s+(?:class|struct))?(?:\s+([A-Za-z_]\w*))?"
+    r"\s*(?::\s*[\w:\s]+)?$")
+_NAME_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*::\s*)*)"
+    r"(~?[A-Za-z_]\w*|operator\s*\(\)|operator\s*\[\]|operator\s*[^\s\w(]+)"
+    r"\s*$")
+
+
+def _top_level_paren_groups(head):
+    """(open, close) index pairs of parenthesized groups at depth 0."""
+    groups, depth, start = [], 0, -1
+    for i, c in enumerate(head):
+        if c == "(":
+            if depth == 0:
+                start = i
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0 and start >= 0:
+                groups.append((start, i))
+                start = -1
+    return groups
+
+
+def _trailing_ok(after):
+    """True when `after` (text between a param list and '{') is a valid
+    function-definition tail: cv/ref qualifiers, noexcept, override/final,
+    attributes, a trailing return type, or a ctor-initializer list."""
+    a = after.strip()
+    while a:
+        if a.startswith(":") and not a.startswith("::"):
+            return True  # ctor-initializer list
+        if a.startswith("->"):
+            return True  # trailing return type (runs to the '{')
+        m = re.match(
+            r"(?:const|noexcept(?:\s*\([^()]*\))?|override|final|mutable|"
+            r"try|&&|&|\[\[[^\]]*\]\])\s*", a)
+        if not m or m.end() == 0:
+            return False
+        a = a[m.end():]
+    return True
+
+
+def _has_top_level_assign(head):
+    depth = 0
+    for i, c in enumerate(head):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "=" and depth == 0:
+            prev = head[i - 1] if i else ""
+            nxt = head[i + 1] if i + 1 < len(head) else ""
+            if prev in "<>!=+-*/%&|^" or nxt == "=":
+                continue
+            if head[:i].rstrip().endswith("operator"):
+                continue
+            return True
+    return False
+
+
+def _classify_function(head):
+    """(qual, leaf, params_min, params_max, return_type) or None."""
+    h = _strip_templates(head)
+    h = re.sub(r"^\s*(?:public|private|protected)\s*:", "", h).strip()
+    if not h or _has_top_level_assign(h):
+        return None
+    for (po, pc) in _top_level_paren_groups(h):
+        before, after = h[:po], h[pc + 1:]
+        m = _NAME_RE.search(before)
+        if not m:
+            continue
+        leaf = m.group(2).replace(" ", "")
+        if leaf in _CONTROL_KEYWORDS and not leaf.startswith("operator"):
+            continue
+        if not _trailing_ok(after):
+            continue
+        qual = re.sub(r"\s+", "", m.group(1)).rstrip(":")
+        params = h[po + 1:pc].strip()
+        if params in ("", "void"):
+            pmin = pmax = 0
+        else:
+            parts = _split_top_commas(params)
+            pmax = len(parts)
+            pmin = pmax - sum(1 for p in parts if "=" in p)
+        ret = before[:m.start()].strip()
+        return qual, leaf, pmin, pmax, ret
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Body analysis.
+
+_CALL_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*::\s*)*)([A-Za-z_]\w*)\s*\(")
+
+# `Dispatch d;` / `Rng rng(seed)` / `Foo f{...}` / `Foo f = ...`: a local
+# declaration whose type is an upper-case-initial (project-style) class
+# name runs that class's constructor.
+_CTOR_DECL_RE = re.compile(
+    r"(?<![\w:.<>])((?:[A-Za-z_]\w*\s*::\s*)*)([A-Z]\w*)"
+    r"\s+([a-z_]\w*)\s*([;({=])")
+
+_BANNED_IO = [
+    (re.compile(r"std\s*::\s*chrono\s*::\s*(?:system_clock|steady_clock|"
+                r"high_resolution_clock)"), "std::chrono host clock"),
+    (re.compile(r"(?<![\w:.])(?:std\s*::\s*)?clock_gettime\s*\("),
+     "clock_gettime"),
+    (re.compile(r"(?<![\w:.])gettimeofday\s*\("), "gettimeofday"),
+    (re.compile(r"(?<![\w:.])time\s*\("), "time()"),
+    (re.compile(r"(?<![\w:.])(?:std\s*::\s*)?getenv\s*\("), "getenv"),
+    (re.compile(r"std\s*::\s*(?:i|o)?fstream"), "std::fstream"),
+    (re.compile(r"(?<![\w:.])(?:std\s*::\s*)?fopen\s*\("), "fopen"),
+    (re.compile(r"std\s*::\s*filesystem"), "std::filesystem"),
+]
+
+_FMA_RE = re.compile(
+    r"(?<![\w:.])(?:std\s*::\s*)?fmaf?\s*\(|__builtin_fmaf?\b")
+_NEW_RE = re.compile(r"(?<![\w:.])new\b(?!\s*\()")
+_MALLOC_RE = re.compile(
+    r"(?<![\w:.])(?:std\s*::\s*)?(malloc|calloc|realloc|aligned_alloc)"
+    r"\s*\(")
+_MAKE_RE = re.compile(
+    r"(?<![\w:])(?:std\s*::\s*)?(make_unique|make_shared)\s*<")
+_PUSH_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:\.|->)\s*(push_back|emplace_back)\s*\(")
+_RESERVE_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:\.|->)\s*(?:reserve|resize)\s*\(")
+_STDFUNC_RE = re.compile(r"std\s*::\s*function\s*<")
+_DERIVE_SEED_RE = re.compile(r"(?<![\w:])derive_seed\s*\(")
+_RNG_DECL_RE = re.compile(
+    r"(?<![\w:])(?:uwb\s*::\s*)?Rng\s+([A-Za-z_]\w*)\s*([({])")
+_RNG_TEMP_RE = re.compile(r"(?<![\w:])(?:uwb\s*::\s*)?Rng\s*([({])")
+_ACCUM_RE = re.compile(
+    r"(?<![\w:])(?:std\s*::\s*)?(accumulate|reduce|transform_reduce|"
+    r"inner_product)\s*\(")
+_FOR_RE = re.compile(r"(?<!\w)for\s*\(")
+_LOCAL_UNORD_RE = re.compile(
+    r"(?:std\s*::\s*)?(unordered_(?:map|set|multimap|multiset)|map|set)"
+    r"\s*<")
+_REDUCE_OP_RE = re.compile(r"(?<![=<>!+\-*/&|^])[+*]=|\bsum\b|\btotal\b")
+
+
+def _prev_nonspace(text, pos):
+    j = pos - 1
+    while j >= 0 and text[j] in " \t\n":
+        j -= 1
+    return text[j] if j >= 0 else "", j
+
+
+def _first_top_arg(text, open_pos):
+    close = _balanced_span(text, open_pos)
+    inner = text[open_pos + 1:close]
+    return _split_top_commas(inner)[0].strip(), inner
+
+
+def _range_for_sites(body):
+    """Yield (pos, target_expr, loop_body_text) for each range-for."""
+    for m in _FOR_RE.finditer(body):
+        open_pos = m.end() - 1
+        close = _balanced_span(body, open_pos)
+        inner = body[open_pos + 1:close]
+        # top-level ':' that is not '::'
+        depth, colon = 0, -1
+        i = 0
+        while i < len(inner):
+            c = inner[i]
+            if c in "([{<":
+                depth += 1 if c != "<" else 0
+            elif c in ")]}>":
+                depth -= 1 if c != ">" else 0
+            elif c == ":" and depth == 0:
+                if i + 1 < len(inner) and inner[i + 1] == ":":
+                    i += 2
+                    continue
+                if i > 0 and inner[i - 1] == ":":
+                    i += 1
+                    continue
+                colon = i
+                break
+            i += 1
+        if colon < 0:
+            continue
+        target = inner[colon + 1:].strip()
+        # loop body: '{'..matching '}' or to ';'
+        k = close + 1
+        while k < len(body) and body[k] in " \t\n":
+            k += 1
+        if k < len(body) and body[k] == "{":
+            depth2, j = 0, k
+            while j < len(body):
+                if body[j] == "{":
+                    depth2 += 1
+                elif body[j] == "}":
+                    depth2 -= 1
+                    if depth2 == 0:
+                        break
+                j += 1
+            loop_body = body[k:j + 1]
+        else:
+            semi = body.find(";", k)
+            loop_body = body[k:semi if semi != -1 else len(body)]
+        yield m.start(), target, loop_body
+
+
+def _analyze_body(fn, body, body_pos, offsets):
+    """Populate a FuncRec from its body text (stripped source)."""
+    line_at = lambda p: _line_of(offsets, body_pos + p)  # noqa: E731
+
+    fn.derive_seed = bool(_DERIVE_SEED_RE.search(body))
+
+    for pat, api in _BANNED_IO:
+        for m in pat.finditer(body):
+            fn.banned_io.append([line_at(m.start()), api])
+    for m in _FMA_RE.finditer(body):
+        fn.fma.append([line_at(m.start()), m.group(0).strip().rstrip("(")])
+
+    for m in _NEW_RE.finditer(body):
+        prev, _ = _prev_nonspace(body, m.start())
+        fn.allocs.append([line_at(m.start()), "new", "new expression"])
+    for m in _MALLOC_RE.finditer(body):
+        fn.allocs.append([line_at(m.start()), "malloc", m.group(1) + "()"])
+    for m in _MAKE_RE.finditer(body):
+        fn.allocs.append([line_at(m.start()), "make", "std::" + m.group(1)])
+    for m in _STDFUNC_RE.finditer(body):
+        fn.allocs.append(
+            [line_at(m.start()), "std_function", "std::function construction"])
+    for m in _PUSH_RE.finditer(body):
+        fn.allocs.append(
+            [line_at(m.start()), "push_back", m.group(1)])
+    fn.reserves = sorted({m.group(1) for m in _RESERVE_RE.finditer(body)})
+
+    # Rng constructions: named declarations and temporaries; a match whose
+    # argument list reads like a parameter list is a declaration of a
+    # function returning Rng, not a construction.
+    seen = set()
+    for m in _RNG_DECL_RE.finditer(body):
+        if m.group(2) != "(":
+            open_pos = body.index("{", m.end() - 1)
+        else:
+            open_pos = m.end() - 1
+        arg, _ = _first_top_arg(body, open_pos) if m.group(2) == "(" else \
+            (_brace_first_arg(body, m.end() - 1), None)
+        if _looks_like_param_list(arg):
+            continue
+        seen.add(m.start())
+        fn.rng_ctors.append([line_at(m.start()), arg])
+    for m in _RNG_TEMP_RE.finditer(body):
+        if any(abs(m.start() - s) < 4 for s in seen):
+            continue
+        prev, _ = _prev_nonspace(body, m.start())
+        if prev in (".", ":"):
+            continue
+        open_pos = m.end() - 1
+        if body[open_pos] == "{":
+            arg = _brace_first_arg(body, open_pos)
+        else:
+            arg, _ = _first_top_arg(body, open_pos)
+        if _looks_like_param_list(arg) or arg == "":
+            continue
+        fn.rng_ctors.append([line_at(m.start()), arg])
+
+    # Reductions: std::accumulate-family over some range expression.
+    for m in _ACCUM_RE.finditer(body):
+        arg, _ = _first_top_arg(body, m.end() - 1)
+        base = re.sub(
+            r"(?:\.|->)\s*c?begin\s*\(\s*\)\s*$", "", arg).strip()
+        sb = re.match(r"std\s*::\s*c?begin\s*\((.*)\)\s*$", base)
+        if sb:
+            base = sb.group(1).strip()
+        fn.reductions.append(
+            [line_at(m.start()), "accumulate:" + m.group(1), base])
+    # Range-for reductions (+=/*= in the loop body).
+    for pos, target, loop_body in _range_for_sites(body):
+        if _REDUCE_OP_RE.search(loop_body) or _ACCUM_RE.search(loop_body):
+            fn.reductions.append([line_at(pos), "range_for", target])
+
+    # Local container declarations with order-hazardous types.
+    for m in _LOCAL_UNORD_RE.finditer(body):
+        inner = _angle_body(body, m.end() - 1)
+        type_text = body[m.start():m.end()] + inner + ">"
+        kind = _container_kind(type_text)
+        if kind is None:
+            continue
+        after = body[m.end() + len(inner) + 1:]
+        nm = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*[;({=]", after)
+        if nm:
+            fn.locals_unordered[nm.group(1)] = kind
+
+    # Call sites.
+    for m in _CALL_RE.finditer(body):
+        qual = re.sub(r"\s+", "", m.group(1)).rstrip(":")
+        leaf = m.group(2)
+        if leaf in _CONTROL_KEYWORDS:
+            continue
+        prev, pj = _prev_nonspace(body, m.start())
+        member = prev == "." or (prev == ">" and pj > 0 and
+                                 body[pj - 1] == "-")
+        close = _balanced_span(body, m.end() - 1)
+        inner = body[m.end():close].strip()
+        arity = 0 if inner == "" else len(_split_top_commas(inner))
+        fn.calls.append(CallRec(qual, leaf, arity,
+                                line_at(m.start()), member))
+
+    # Local object declarations are implicit constructor calls
+    # (``static Dispatch d;`` runs Dispatch::Dispatch).  Upper-case-initial
+    # type names approximate "project class"; resolution later drops names
+    # with no matching constructor.
+    for m in _CTOR_DECL_RE.finditer(body):
+        qual = re.sub(r"\s+", "", m.group(1)).rstrip(":")
+        type_leaf = m.group(2)
+        if type_leaf in _CONTROL_KEYWORDS:
+            continue
+        term = m.group(4)
+        if term == "(":
+            open_pos = m.end() - 1
+            inner = body[open_pos + 1:_balanced_span(body, open_pos)].strip()
+            arity = 0 if inner == "" else len(_split_top_commas(inner))
+        else:
+            arity = 0
+        fn.calls.append(CallRec(qual, type_leaf, arity,
+                                line_at(m.start(2)), False))
+
+
+def _analyze_head(fn, head, head_pos, offsets):
+    """Calls hiding in a definition head: constructor-initializer lists
+    (``Medium::Medium(...) : fanout_(obs::fanout_buckets()) {``) and
+    std::function parameters (each call site converting a lambda allocates
+    the type-erased target, so the hazard is charged to the signature)."""
+    line_at = lambda p: _line_of(offsets, head_pos + p)  # noqa: E731
+    if _DERIVE_SEED_RE.search(head):
+        fn.derive_seed = True
+    for m in _STDFUNC_RE.finditer(head):
+        fn.allocs.append(
+            [line_at(m.start()), "std_function",
+             "std::function parameter (callers construct a type-erased "
+             "target)"])
+    for m in _CALL_RE.finditer(head):
+        qual = re.sub(r"\s+", "", m.group(1)).rstrip(":")
+        leaf = m.group(2)
+        if leaf in _CONTROL_KEYWORDS or leaf == fn.leaf:
+            continue
+        close = _balanced_span(head, m.end() - 1)
+        inner = head[m.end():close].strip()
+        arity = 0 if inner == "" else len(_split_top_commas(inner))
+        fn.calls.append(CallRec(qual, leaf, arity,
+                                line_at(m.start()), False))
+
+
+def _brace_first_arg(body, open_pos):
+    depth = 0
+    for i in range(open_pos, len(body)):
+        if body[i] == "{":
+            depth += 1
+        elif body[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return _split_top_commas(body[open_pos + 1:i])[0].strip()
+    return body[open_pos + 1:].strip()
+
+
+def _looks_like_param_list(arg):
+    """'std::uint64_t seed' is a declaration, 'derive_seed(a, b)' is not."""
+    if arg.strip() == "":
+        return True
+    for part in _split_top_commas(arg):
+        if re.match(r"\s*(?:const\s+)?[\w:]+(?:\s*<[^>]*>)?\s*[&*]*\s+"
+                    r"[A-Za-z_]\w*\s*$", part):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The scope scanner.
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*["<]([^">]+)[">]')
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+([A-Za-z_]\w*)")
+_FP_CONTRACT_RE = re.compile(
+    r"#\s*pragma\s+(?:STDC\s+FP_CONTRACT\s+ON|fp_contract\s*\(\s*on|"
+    r"float_control\s*\(\s*precise\s*,\s*off)", re.IGNORECASE)
+_HOT_PATH_RE = re.compile(r"//\s*uwb-hot-path\b")
+_USING_RE = re.compile(r"(?:^|\s)using\s+([A-Za-z_]\w*)\s*=")
+_TYPEDEF_RE = re.compile(r"(?:^|\s)typedef\s+.*?([A-Za-z_]\w*)\s*$")
+
+
+def _blank_preprocessor(code_lines):
+    """Blank preprocessor lines (and their continuations) so macro bodies
+    cannot desynchronize the scope scanner."""
+    out = list(code_lines)
+    i = 0
+    while i < len(out):
+        if re.match(r"\s*#", out[i]):
+            j = i
+            while j < len(out) and out[j].rstrip().endswith("\\"):
+                out[j] = ""
+                j += 1
+            if j < len(out):
+                out[j] = ""
+            i = j + 1
+        else:
+            i += 1
+    return out
+
+
+def _hot_path_annotated(raw_lines, def_line):
+    """True when `// uwb-hot-path` sits on the definition line or in the
+    contiguous comment/attribute/template block directly above it."""
+    if def_line - 1 < len(raw_lines) and \
+            _HOT_PATH_RE.search(raw_lines[def_line - 1]):
+        return True
+    i = def_line - 2
+    while i >= 0:
+        line = raw_lines[i].strip()
+        if line == "" and i == def_line - 2:
+            return False
+        if (line.startswith("//") or line.startswith("*") or
+                line.startswith("/*") or line.startswith("[[") or
+                line.startswith("template")):
+            if _HOT_PATH_RE.search(raw_lines[i]):
+                return True
+            i -= 1
+            continue
+        break
+    return False
+
+
+def parse_tu(src):
+    """Parse one SourceFile into a TU record."""
+    tu = TU(path=src.path, sha=None, suppressed=dict(src.suppressed))
+
+    for raw in src.raw_lines:
+        m = _INCLUDE_RE.match(raw)
+        if m:
+            tu.includes.append(m.group(1))
+        m = _DEFINE_RE.match(raw)
+        if m:
+            tu.defines.append(m.group(1))
+        if _FP_CONTRACT_RE.search(raw):
+            tu.fma_pragmas.append(src.raw_lines.index(raw) + 1)
+
+    code_lines = _blank_preprocessor(src.code_lines)
+    code = "\n".join(code_lines)
+    offsets = [0]
+    for line in code_lines[:-1]:
+        offsets.append(offsets[-1] + len(line) + 1)
+
+    provides = set(tu.defines)
+
+    # Scope stack entries: dicts with kind/name/fn/body_start.
+    scopes = []
+    head_start = 0
+    paren_depth = 0
+    i, n = 0, len(code)
+
+    def in_function():
+        return any(s["kind"] == "function" for s in scopes)
+
+    def ns_path():
+        parts = []
+        for s in scopes:
+            if s["kind"] == "namespace" and s["name"]:
+                parts.append(s["name"])
+            elif s["kind"] == "class":
+                parts.append(s["name"])
+        return parts
+
+    def class_qname():
+        parts, cls = [], None
+        for s in scopes:
+            if s["kind"] == "namespace" and s["name"]:
+                parts.append(s["name"])
+            elif s["kind"] == "class":
+                parts.append(s["name"])
+                cls = "::".join(parts)
+        return cls
+
+    def handle_decl(head, at_pos):
+        """A ';'-terminated declaration at namespace/class scope."""
+        h = _strip_templates(head)
+        h = re.sub(r"^\s*(?:public|private|protected)\s*:", "", h).strip()
+        if not h:
+            return
+        m = _USING_RE.search(h)
+        if m:
+            provides.add(m.group(1))
+            return
+        m = _TYPEDEF_RE.search(h)
+        if m:
+            provides.add(m.group(1))
+            return
+        for kw_re in (_CLASS_RE, _ENUM_RE):
+            m = kw_re.search(h)
+            if m and m.group(1):
+                provides.add(m.group(1))  # forward declaration
+                return
+        fc = _classify_function(h)
+        if fc:
+            qual, leaf, pmin, pmax, ret = fc
+            if leaf.startswith("operator"):
+                provides.add(leaf)
+            else:
+                provides.add(leaf)
+            cls = class_qname()
+            qparts = ns_path()
+            if qual:
+                qparts.append(qual)
+            qparts.append(leaf)
+            tu.functions.append(FuncRec(
+                qname="::".join(qparts), leaf=leaf, qual=qual,
+                parent_class=cls, path=src.path,
+                line=_line_of(offsets, at_pos), end_line=None,
+                params_min=pmin, params_max=pmax, return_type=ret,
+                is_def=False, hot_path=False, derive_seed=False,
+                namespace="::".join(ns_path())))
+            return
+        # Variable / member declaration: record order-hazardous containers
+        # and the declared name for iwyu.
+        kind = _container_kind(h)
+        nm = re.search(r"([A-Za-z_]\w*)\s*(?:=[^=].*|\{.*\})?$", h)
+        if nm and nm.group(1) not in _CONTROL_KEYWORDS:
+            name = nm.group(1)
+            provides.add(name)
+            if kind:
+                cur_class = None
+                for s in reversed(scopes):
+                    if s["kind"] == "class":
+                        cur_class = s
+                        break
+                if cur_class is not None:
+                    cur_class["rec"].members[name] = kind
+                elif not in_function():
+                    tu.globals_unordered[name] = kind
+
+    while i < n:
+        c = code[i]
+        if c == "(":
+            paren_depth += 1
+        elif c == ")":
+            paren_depth = max(0, paren_depth - 1)
+        elif c == ";" and paren_depth == 0:
+            if not in_function():
+                handle_decl(code[head_start:i], head_start)
+            head_start = i + 1
+        elif c == "{":
+            head = code[head_start:i]
+            if in_function():
+                scopes.append({"kind": "block", "name": None})
+            else:
+                h = _strip_templates(head)
+                h = re.sub(r"^\s*(?:public|private|protected)\s*:", "",
+                           h).strip()
+                m = _NAMESPACE_RE.search(h)
+                cm = _CLASS_RE.search(h)
+                em = _ENUM_RE.search(h)
+                fc = None if (m or cm) else _classify_function(head)
+                if m:
+                    scopes.append({"kind": "namespace",
+                                   "name": m.group(1) or ""})
+                elif cm:
+                    qparts = ns_path() + [cm.group(1)]
+                    rec = ClassRec("::".join(qparts), cm.group(1), src.path,
+                                   _line_of(offsets, i))
+                    tu.classes.append(rec)
+                    provides.add(cm.group(1))
+                    scopes.append({"kind": "class", "name": cm.group(1),
+                                   "rec": rec})
+                elif fc:
+                    qual, leaf, pmin, pmax, ret = fc
+                    cls = class_qname()
+                    qparts = ns_path()
+                    if qual:
+                        qparts.append(qual)
+                    qparts.append(leaf)
+                    def_line = _line_of(offsets, head_start +
+                                        len(head) - len(head.lstrip()))
+                    fn = FuncRec(
+                        qname="::".join(p for p in qparts if p), leaf=leaf,
+                        qual=qual, parent_class=cls, path=src.path,
+                        line=def_line, end_line=None,
+                        params_min=pmin, params_max=pmax, return_type=ret,
+                        is_def=True,
+                        hot_path=_hot_path_annotated(src.raw_lines,
+                                                     def_line),
+                        derive_seed=False,
+                        namespace="::".join(ns_path()))
+                    provides.add(leaf)
+                    _analyze_head(fn, head, head_start, offsets)
+                    scopes.append({"kind": "function", "fn": fn,
+                                   "body_start": i + 1})
+                elif em:
+                    scopes.append({"kind": "enum", "name": em.group(1),
+                                   "body_start": i + 1})
+                    if em.group(1):
+                        provides.add(em.group(1))
+                else:
+                    scopes.append({"kind": "block", "name": None})
+            head_start = i + 1
+            paren_depth = 0
+        elif c == "}":
+            if scopes:
+                top = scopes.pop()
+                if top["kind"] == "function":
+                    fn = top["fn"]
+                    body = code[top["body_start"]:i]
+                    fn.end_line = _line_of(offsets, i)
+                    _analyze_body(fn, body, top["body_start"], offsets)
+                    tu.functions.append(fn)
+                elif top["kind"] == "enum":
+                    body = code[top["body_start"]:i]
+                    for em2 in re.finditer(r"(?:^|,|\{)\s*([A-Za-z_]\w*)",
+                                           body):
+                        provides.add(em2.group(1))
+            head_start = i + 1
+            paren_depth = 0
+        i += 1
+
+    tu.provides = sorted(provides)
+    return tu
+
+
+# ---------------------------------------------------------------------------
+# The index: cross-TU tables + call-graph resolution.
+
+
+class Index:
+    def __init__(self, tus):
+        self.tus = tus
+        self.by_path = {tu.path: tu for tu in tus}
+        self.functions = []
+        for tu in tus:
+            self.functions.extend(tu.functions)
+        self.defs = [f for f in self.functions if f.is_def]
+        self.by_leaf = {}
+        for f in self.functions:
+            self.by_leaf.setdefault(f.leaf, []).append(f)
+        self.classes_by_qname = {}
+        self.classes_by_leaf = {}
+        for tu in tus:
+            for c in tu.classes:
+                self.classes_by_qname[c.qname] = c
+                self.classes_by_leaf.setdefault(c.leaf, []).append(c)
+        # Finalize parent_class for out-of-line definitions whose qualifier
+        # names a class defined in another TU (``Medium::deliver`` in
+        # medium.cpp, class Medium in medium.hpp).
+        for f in self.functions:
+            if not f.parent_class and f.qual:
+                cls = self._resolve_class(f.qual, f.namespace)
+                if cls:
+                    f.parent_class = cls.qname
+        self._callee_cache = {}
+        self._reverse = None
+
+    def _resolve_class(self, qual, namespace):
+        if qual in self.classes_by_qname:
+            return self.classes_by_qname[qual]
+        leaf = qual.split("::")[-1]
+        cands = self.classes_by_leaf.get(leaf, [])
+        for c in cands:
+            if c.qname == (namespace + "::" + qual if namespace else qual):
+                return c
+        for c in cands:
+            if c.qname.endswith("::" + qual) or c.qname == qual:
+                return c
+        return None
+
+    def class_member_kind(self, class_qname, member):
+        """Container kind of a member looked up through the class and its
+        same-named variants (cross-TU: class defined in a header, method in
+        a .cpp)."""
+        c = self.classes_by_qname.get(class_qname)
+        if c and member in c.members:
+            return c.members[member]
+        leaf = class_qname.split("::")[-1] if class_qname else None
+        for c in self.classes_by_leaf.get(leaf, []):
+            if member in c.members:
+                return c.members[member]
+        return None
+
+    # -- call resolution ----------------------------------------------------
+
+    def resolve_call(self, caller, call):
+        if call.qual.startswith("std"):
+            return []
+        leaf = call.leaf
+        if call.member and leaf in _STD_MEMBER_BLOCKLIST:
+            return []
+        if not call.member and not call.qual and leaf in _STD_FREE_BLOCKLIST:
+            return []
+        cands = self.by_leaf.get(leaf, [])
+        if not cands:
+            return []
+        if call.qual:
+            want = call.qual + "::" + leaf
+            out = [f for f in cands
+                   if f.qname == want or f.qname.endswith("::" + want)]
+            cands = out
+        elif call.member:
+            cands = [f for f in cands if f.parent_class]
+        else:
+            same_class = [f for f in cands
+                          if f.parent_class and
+                          f.parent_class == caller.parent_class]
+            if same_class:
+                cands = same_class
+            else:
+                free = [f for f in cands if not f.parent_class]
+                ns = caller.namespace or ""
+                ns_match = [f for f in free
+                            if f.namespace == ns or
+                            (f.namespace and ns.startswith(f.namespace))]
+                cands = ns_match or free or cands
+        by_arity = [f for f in cands
+                    if f.params_min is not None and
+                    f.params_min <= call.arity <= f.params_max]
+        chosen = by_arity or cands
+        # Resolve each overload set to its definitions when available.
+        defs = [f for f in chosen if f.is_def]
+        return defs or chosen
+
+    def callees(self, fn):
+        key = id(fn)
+        if key not in self._callee_cache:
+            out = []
+            seen = set()
+            for call in fn.calls:
+                for target in self.resolve_call(fn, call):
+                    if id(target) not in seen:
+                        seen.add(id(target))
+                        out.append((target, call))
+            self._callee_cache[key] = out
+        return self._callee_cache[key]
+
+    def reverse_edges(self):
+        """callee id -> list of caller FuncRecs (definitions only)."""
+        if self._reverse is None:
+            rev = {}
+            for f in self.defs:
+                for target, _ in self.callees(f):
+                    rev.setdefault(id(target), []).append(f)
+            self._reverse = rev
+        return self._reverse
+
+    def reachable_with_parents(self, roots):
+        """Multi-source forward BFS. Returns {id(fn): (fn, parent_fn)}
+        where parent is the BFS predecessor (None for roots)."""
+        visited = {}
+        queue = []
+        for r in roots:
+            if id(r) not in visited:
+                visited[id(r)] = (r, None)
+                queue.append(r)
+        qi = 0
+        while qi < len(queue):
+            f = queue[qi]
+            qi += 1
+            for target, _ in self.callees(f):
+                if id(target) not in visited:
+                    visited[id(target)] = (target, f)
+                    queue.append(target)
+        return visited
+
+    def chain_to_root(self, visited, fn):
+        """Qualified-name chain root -> ... -> fn from a BFS parent map."""
+        chain = []
+        cur = fn
+        guard = 0
+        while cur is not None and guard < 64:
+            chain.append(cur.qname)
+            cur = visited[id(cur)][1]
+            guard += 1
+        return list(reversed(chain))
+
+    def ancestor_derives_seed(self, fn):
+        """True when fn, or any transitive caller of fn, calls
+        derive_seed()."""
+        rev = self.reverse_edges()
+        seen = {id(fn)}
+        queue = [fn]
+        qi = 0
+        while qi < len(queue):
+            f = queue[qi]
+            qi += 1
+            if f.derive_seed:
+                return True
+            for caller in rev.get(id(f), []):
+                if id(caller) not in seen:
+                    seen.add(id(caller))
+                    queue.append(caller)
+        return False
+
+    def suppressed_at(self, path, line):
+        tu = self.by_path.get(path)
+        if not tu:
+            return set()
+        return tu.suppressed.get(line, set())
+
+
+# ---------------------------------------------------------------------------
+# Cache-aware construction.
+
+
+def file_sha(root, relpath):
+    with open(os.path.join(root, relpath), "rb") as f:
+        return hashlib.sha256(f.read()).hexdigest()
+
+
+def build_index(root, relpaths, cache_path=None):
+    """Parse (or load from cache) every file and assemble the Index.
+
+    Returns (index, stats) where stats = {'parsed': n, 'cached': m}.
+    """
+    signature = _cache_signature()
+    cache = {}
+    if cache_path and os.path.isfile(cache_path):
+        try:
+            with open(cache_path, encoding="utf-8") as f:
+                data = json.load(f)
+            if data.get("version") == signature:
+                cache = data.get("files", {})
+        except (json.JSONDecodeError, OSError, KeyError):
+            cache = {}
+
+    tus, parsed, hit = [], 0, 0
+    new_cache = {}
+    for rel in relpaths:
+        try:
+            sha = file_sha(root, rel)
+        except OSError:
+            continue
+        entry = cache.get(rel)
+        if entry is not None and entry.get("sha") == sha:
+            tu = TU.from_dict(entry["tu"])
+            hit += 1
+        else:
+            src = uwb_lint.load_source(root, rel)
+            tu = parse_tu(src)
+            tu.sha = sha
+            parsed += 1
+        tu.sha = sha
+        tus.append(tu)
+        new_cache[rel] = {"sha": sha, "tu": tu.to_dict()}
+
+    if cache_path:
+        try:
+            os.makedirs(os.path.dirname(cache_path), exist_ok=True)
+            tmp = cache_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump({"version": signature, "files": new_cache}, f)
+            os.replace(tmp, cache_path)
+        except OSError:
+            pass
+
+    return Index(tus), {"parsed": parsed, "cached": hit}
+
+
+def main(argv=None):
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="cpp_index",
+        description="Dump the approximate C++ index (debugging aid).")
+    parser.add_argument("--root", default=None)
+    parser.add_argument("--function", help="print one function's record")
+    parser.add_argument("--callers", help="print callers of a function")
+    parser.add_argument("--callees", help="print resolved callees")
+    args = parser.parse_args(argv)
+    root = args.root or os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    rels = uwb_lint.discover_files(root, [])
+    index, stats = build_index(root, rels)
+    print(f"{len(index.tus)} TUs, {len(index.defs)} function definitions "
+          f"({stats['parsed']} parsed, {stats['cached']} cached)")
+    for f in index.defs:
+        if args.function and args.function in f.qname:
+            print(f"{f.qname} @ {f.path}:{f.line}-{f.end_line} "
+                  f"params[{f.params_min},{f.params_max}] "
+                  f"hot={f.hot_path} derive_seed={f.derive_seed}")
+        if args.callees and args.callees in f.qname:
+            for target, call in index.callees(f):
+                print(f"{f.qname}:{call.line} -> {target.qname}")
+        if args.callers:
+            for target, call in index.callees(f):
+                if args.callers in target.qname:
+                    print(f"{target.qname} <- {f.qname}:{call.line}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

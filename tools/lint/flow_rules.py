@@ -1,0 +1,284 @@
+#!/usr/bin/env python3
+"""flow_rules: call-graph-aware determinism rules over the cpp_index.
+
+Four rule families, each flow-aware where the PR 5 per-file rules are
+lexical (DESIGN.md Sect. 16 states each family's soundness/completeness
+contract):
+
+  rng-provenance   Every ``uwb::Rng`` construction in ``src/`` must be
+                   transitively fed from ``derive_seed``: the constructor
+                   argument mentions derive_seed directly, or the enclosing
+                   function (or some transitive caller) calls derive_seed —
+                   i.e. the seed can have arrived through parameters from a
+                   derived stream.  Literal seeds are flagged outright.
+  sim-host-io      No function reachable from the simulation layers
+                   (src/sim, src/channel, src/dw1000, src/ranging,
+                   src/fault) may call banned host-clock / filesystem /
+                   environment APIs, even via helpers in src/common or
+                   src/obs.  Findings anchor at the banned call site and
+                   print the call chain from a simulation entry point.
+  float-ordering   Reductions (std::accumulate family, += / *= inside a
+                   range-for) whose iteration source resolves to an
+                   unordered container or a pointer-keyed map — through
+                   locals, class members (cross-TU), or the return type of
+                   a called function — accumulate in platform-dependent
+                   order.  Also: FMA-generating patterns (std::fma,
+                   __builtin_fma, FP_CONTRACT pragmas) outside src/simd/,
+                   where contraction differences break cross-level
+                   bit-identity.
+  hot-path-alloc   Functions annotated ``// uwb-hot-path`` must not reach —
+                   directly or transitively — operator new, malloc-family
+                   calls, make_unique/make_shared, std::function
+                   construction, or push_back/emplace_back on a container
+                   with no reserve()/resize() in the same function.  This
+                   is the allocation ratchet for the ROADMAP's
+                   zero-allocation refactors.
+
+Suppression uses the existing per-site ``// uwb-lint: allow(<rule>)``
+markers at the *anchor* line of the finding.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cpp_index  # noqa: E402
+from uwb_lint import Finding  # noqa: E402
+
+FLOW_RULES = ("rng-provenance", "sim-host-io", "float-ordering",
+              "hot-path-alloc")
+
+_SIM_SCOPE = ("src/sim/", "src/channel/", "src/dw1000/", "src/ranging/",
+              "src/fault/")
+_RNG_SCOPE = ("src/",)
+# The Rng wrapper itself (fork(), the engine) is the one place a raw seed
+# value legitimately constructs an Rng.
+_RNG_ALLOWED = ("src/common/random.",)
+_SIMD_SCOPE = ("src/simd/",)
+
+_NUMERIC_SEED_RE = re.compile(
+    r"^[\s0-9a-fA-FxXbB'uUlL+\-*/%()]*$")
+
+
+def _in_dirs(path, prefixes):
+    return any(path.startswith(p) for p in prefixes)
+
+
+def _chain_str(chain, limit=6):
+    if len(chain) > limit:
+        chain = chain[:2] + ["..."] + chain[-(limit - 3):]
+    return " -> ".join(chain)
+
+
+# ---------------------------------------------------------------------------
+# rng-provenance
+
+
+def check_rng_provenance(index):
+    """Every Rng construction is transitively fed from derive_seed."""
+    findings = []
+    for fn in index.defs:
+        if not _in_dirs(fn.path, _RNG_SCOPE):
+            continue
+        if _in_dirs(fn.path, _RNG_ALLOWED):
+            continue
+        for line, arg in fn.rng_ctors:
+            if "derive_seed" in arg:
+                continue
+            if _NUMERIC_SEED_RE.match(arg) and re.search(r"\d", arg):
+                findings.append(Finding(
+                    fn.path, line, "rng-provenance",
+                    f"Rng constructed from literal seed '{arg.strip()}' in "
+                    f"{fn.qname}; derive the stream with "
+                    "derive_seed(base, stream_id)"))
+                continue
+            if index.ancestor_derives_seed(fn):
+                continue
+            findings.append(Finding(
+                fn.path, line, "rng-provenance",
+                f"Rng constructed in {fn.qname} from seed '{arg.strip()}' "
+                "with no derive_seed() anywhere in its caller chain; "
+                "plumb a derive_seed(base, stream_id) stream through"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# sim-host-io
+
+
+def check_sim_host_io(index):
+    """No host clock/filesystem/env API reachable from simulation code."""
+    roots = [f for f in index.defs if _in_dirs(f.path, _SIM_SCOPE)]
+    visited = index.reachable_with_parents(roots)
+    findings = []
+    for fid, (fn, _parent) in visited.items():
+        if not fn.banned_io:
+            continue
+        chain = index.chain_to_root(visited, fn)
+        for line, api in fn.banned_io:
+            if len(chain) > 1:
+                via = f" (reachable from sim code: {_chain_str(chain)})"
+            else:
+                via = ""
+            findings.append(Finding(
+                fn.path, line, "sim-host-io",
+                f"{api} in {fn.qname}, reachable from the simulation "
+                f"layers{via}; simulated behaviour must depend only on "
+                "SimTime and derived seeds"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# float-ordering
+
+
+def _resolve_source_kind(index, fn, expr):
+    """(kind, description) for a reduction's iteration source, or None.
+
+    Resolution order: call return types, then locals, then class members
+    (cross-TU via the class table), then file-level globals.
+    """
+    e = expr.strip().rstrip(";")
+    m = re.match(r"(?:[\w.\->]*?)([A-Za-z_]\w*)\s*\(\s*\)$", e)
+    if m:
+        leaf = m.group(1)
+        for cand in index.by_leaf.get(leaf, []):
+            kind = cpp_index._container_kind(cand.return_type or "")
+            if kind:
+                return kind, f"return value of {cand.qname}()"
+        return None
+    leaf = re.split(r"\.|->", e)[-1]
+    leaf = re.sub(r"[^\w].*$", "", leaf.strip())
+    if not leaf:
+        return None
+    if leaf in fn.locals_unordered:
+        return fn.locals_unordered[leaf], f"local '{leaf}'"
+    if fn.parent_class:
+        kind = index.class_member_kind(fn.parent_class, leaf)
+        if kind:
+            return kind, f"member '{fn.parent_class}::{leaf}'"
+    tu = index.by_path.get(fn.path)
+    if tu and leaf in tu.globals_unordered:
+        return tu.globals_unordered[leaf], f"file-scope '{leaf}'"
+    return None
+
+
+_KIND_WHY = {
+    "unordered": "an unordered container (platform-dependent order)",
+    "ptr_key": "a pointer-keyed ordered map (address-dependent order)",
+}
+
+
+def check_float_ordering(index):
+    """No float reduction over unordered sources; no FMA outside simd."""
+    findings = []
+    for fn in index.defs:
+        for line, red_kind, source in fn.reductions:
+            resolved = _resolve_source_kind(index, fn, source)
+            if not resolved:
+                continue
+            kind, desc = resolved
+            # A range-for over a *local* plain-unordered container is
+            # already the per-file unordered-iteration rule's finding;
+            # re-reporting it here would demand double suppressions.
+            if (red_kind == "range_for" and kind == "unordered" and
+                    desc.startswith("local ")):
+                continue
+            what = ("std::" + red_kind.split(":", 1)[1]
+                    if red_kind.startswith("accumulate:")
+                    else "accumulation in range-for")
+            findings.append(Finding(
+                fn.path, line, "float-ordering",
+                f"{what} in {fn.qname} iterates {desc}, which is "
+                f"{_KIND_WHY[kind]}; float reduction order changes the "
+                "result bits — iterate a sorted/deterministic sequence"))
+        if not _in_dirs(fn.path, _SIMD_SCOPE):
+            for line, what in fn.fma:
+                findings.append(Finding(
+                    fn.path, line, "float-ordering",
+                    f"{what} in {fn.qname} outside src/simd/: fused "
+                    "multiply-add changes rounding vs the scalar "
+                    "contract; keep FMA inside the dispatch-tested "
+                    "kernels"))
+    for tu in index.tus:
+        if _in_dirs(tu.path, _SIMD_SCOPE):
+            continue
+        for line in tu.fma_pragmas:
+            findings.append(Finding(
+                tu.path, line, "float-ordering",
+                "FP contraction pragma outside src/simd/ licenses the "
+                "compiler to fuse multiplies and adds, changing result "
+                "bits across compilers"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# hot-path-alloc
+
+
+_ALLOC_WHY = {
+    "new": "operator new allocates",
+    "malloc": "malloc-family call allocates",
+    "make": "factory allocates",
+    "std_function": "std::function construction may heap-allocate "
+                    "(type-erased target)",
+    "push_back": "growth without a reserve() in the same function "
+                 "may reallocate",
+}
+
+
+def check_hot_path_alloc(index):
+    """uwb-hot-path functions must not reach allocation, even transitively."""
+    roots = [f for f in index.defs if f.hot_path]
+    if not roots:
+        return []
+    visited = index.reachable_with_parents(roots)
+    findings = []
+    for fid, (fn, _parent) in visited.items():
+        if not fn.allocs:
+            continue
+        chain = index.chain_to_root(visited, fn)
+        root_name = chain[0]
+        for line, kind, detail in fn.allocs:
+            if kind == "push_back" and detail in fn.reserves:
+                continue
+            if kind == "push_back":
+                what = f"{detail}.push_back/emplace_back"
+            else:
+                what = detail
+            via = (f" via {_chain_str(chain)}" if len(chain) > 1 else "")
+            findings.append(Finding(
+                fn.path, line, "hot-path-alloc",
+                f"{what} in {fn.qname} is reachable from "
+                f"// uwb-hot-path function {root_name}{via}: "
+                f"{_ALLOC_WHY[kind]}"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver entry.
+
+_CHECKS = {
+    "rng-provenance": check_rng_provenance,
+    "sim-host-io": check_sim_host_io,
+    "float-ordering": check_float_ordering,
+    "hot-path-alloc": check_hot_path_alloc,
+}
+
+
+def run_flow_rules(index, rules=None):
+    """Run the selected flow rules; suppression markers at the anchor line
+    are honoured through the index's cached per-TU suppression maps."""
+    rules = [r for r in (rules or FLOW_RULES) if r in _CHECKS]
+    findings = []
+    for name in rules:
+        for f in _CHECKS[name](index):
+            if f.rule in index.suppressed_at(f.path, f.line):
+                continue
+            findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""run_iwyu_lite: unused-header check driven by the cpp_index include graph.
+
+For every ``#include "..."`` of a project header in ``src/``, check that the
+including file actually references at least one symbol the header provides
+(function/class/enum/alias/macro names harvested by the indexer).  A header
+contributing no referenced symbol is probably a leftover include.
+
+This is deliberately *lite*: no transitive-include analysis (a symbol
+satisfied through a different header still counts as "used" here), no
+system headers, and warn-only by default — exit status is 0 unless
+``--strict`` is passed.  Known-intentional includes live in the committed
+allowlist (``tools/lint/iwyu_allowlist.txt``): one ``includer:header``
+pair per line, ``#`` comments allowed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cpp_index  # noqa: E402
+import uwb_lint  # noqa: E402
+
+_ALLOWLIST = "iwyu_allowlist.txt"
+
+# Headers that act through the preprocessor or provide idioms the symbol
+# harvest cannot see (macros used object-like, operator overloads found by
+# ADL, aggregate field names).
+_GLOBAL_ALLOW = set()
+
+
+def load_allowlist(path):
+    pairs = set()
+    if not os.path.isfile(path):
+        return pairs
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            pairs.add(line)
+    return pairs
+
+
+def header_provides(index, header_rel):
+    """Symbols a project header contributes: everything the indexer
+    harvested, plus operator overloads collapsed to a wildcard."""
+    tu = index.by_path.get(header_rel)
+    if tu is None:
+        return set(), False
+    names = set(tu.provides)
+    has_operators = any(n.startswith("operator") for n in names)
+    return names, has_operators
+
+
+def resolve_include(root, includer_rel, spec):
+    """Map an include spec to a repo-relative path under src/, or None."""
+    cand = os.path.join("src", spec)
+    if os.path.isfile(os.path.join(root, cand)):
+        return cand.replace(os.sep, "/")
+    rel_dir = os.path.dirname(includer_rel)
+    cand = os.path.normpath(os.path.join(rel_dir, spec))
+    if os.path.isfile(os.path.join(root, cand)):
+        return cand.replace(os.sep, "/")
+    return None
+
+
+def check_tree(root, index, allow):
+    findings = []
+    for tu in index.tus:
+        if not tu.path.startswith("src/"):
+            continue
+        body = "\n".join(
+            uwb_lint.load_source(root, tu.path).code_lines)
+        idents = set(re.findall(r"[A-Za-z_]\w*", body))
+        own_header = re.sub(r"\.(cpp|cc)$", ".hpp", tu.path)
+        for spec in tu.includes:
+            header_rel = resolve_include(root, tu.path, spec)
+            if header_rel is None or header_rel == tu.path:
+                continue  # system or generated header: out of scope
+            if header_rel == own_header:
+                continue  # a TU always keeps its own interface header
+            key = f"{tu.path}:{spec}"
+            if key in allow or spec in _GLOBAL_ALLOW:
+                continue
+            provided, has_operators = header_provides(index, header_rel)
+            if not provided and not has_operators:
+                continue  # header not indexed (asm, config): no signal
+            if has_operators:
+                continue  # operators are used infix; usage is invisible
+            used = provided & idents
+            if not used:
+                findings.append(
+                    (tu.path, spec,
+                     f"{tu.path}: include \"{spec}\" contributes no "
+                     f"referenced symbol (header defines e.g. "
+                     f"{', '.join(sorted(provided)[:4])})"))
+    return findings
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="run_iwyu_lite",
+        description="Flag src/ includes contributing no referenced symbol.")
+    parser.add_argument("--root", default=None)
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on findings (default: warn only)")
+    parser.add_argument("--allowlist", default=None,
+                        help="override the committed allowlist path")
+    args = parser.parse_args(argv)
+    root = args.root or os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    allow_path = args.allowlist or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), _ALLOWLIST)
+    allow = load_allowlist(allow_path)
+
+    rels = uwb_lint.discover_files(root, [])
+    index, _ = cpp_index.build_index(root, rels)
+    findings = check_tree(root, index, allow)
+    for _, _, msg in findings:
+        print(f"iwyu-lite: {msg}")
+    print(f"iwyu-lite: {len(findings)} unused-include candidate(s) "
+          f"({'strict' if args.strict else 'warn-only'})",
+          file=sys.stderr)
+    return 1 if (findings and args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -114,19 +114,37 @@ def _strip_comments_and_strings(text):
             blank(i, j)
             i = j
         elif c == '"':
-            # Raw string literal R"delim( ... )delim"
-            if i >= 1 and text[i - 1] == "R" and (i < 2 or not (text[i - 2].isalnum() or text[i - 2] == "_")):
-                m = re.match(r'"([^()\\ ]*)\(', text[i:])
-                if m:
-                    close = ")" + m.group(1) + '"'
-                    j = text.find(close, i + m.end())
-                    j = n if j == -1 else j + len(close)
-                    blank(i, j)
-                    i = j
-                    continue
+            # Raw string literal with any encoding prefix: R"d(...)d",
+            # u8R/uR/UR/LR likewise.  The prefix must not be the tail of a
+            # longer identifier (FOOBAR"..." is not a raw string).
+            rm = re.search(r"(u8R|uR|UR|LR|R)$", text[max(0, i - 3):i])
+            if rm:
+                pstart = i - len(rm.group(1))
+                before = text[pstart - 1] if pstart > 0 else ""
+                if not (before.isalnum() or before == "_"):
+                    m = re.match(r'"([^()\\\s]*)\(', text[i:])
+                    if m:
+                        close = ")" + m.group(1) + '"'
+                        j = text.find(close, i + m.end())
+                        j = n if j == -1 else j + len(close)
+                        blank(i, j)
+                        i = j
+                        continue
+            # Ordinary string: ends at the closing quote or, failing that,
+            # at the newline — a literal cannot span a raw newline, and
+            # running past it would desynchronize every later line.
             j = i + 1
             while j < n and text[j] != '"':
-                j = j + 2 if text[j] == "\\" else j + 1
+                if text[j] == "\\":
+                    j += 2
+                elif text[j] == "\n":
+                    break
+                else:
+                    j += 1
+            if j < n and text[j] == "\n":
+                blank(i, j)
+                i = j
+                continue
             blank(i, min(j + 1, n))
             i = j + 1
         elif c == "'":
@@ -138,7 +156,16 @@ def _strip_comments_and_strings(text):
                 continue
             j = i + 1
             while j < n and text[j] != "'":
-                j = j + 2 if text[j] == "\\" else j + 1
+                if text[j] == "\\":
+                    j += 2
+                elif text[j] == "\n":
+                    break
+                else:
+                    j += 1
+            if j < n and text[j] == "\n":
+                blank(i, j)
+                i = j
+                continue
             blank(i, min(j + 1, n))
             i = j + 1
         else:
@@ -553,6 +580,24 @@ def lint_file(root, relpath, rules):
     return findings
 
 
+def _changed_files(root, base):
+    """Repo-relative paths changed vs `base` (git diff + untracked)."""
+    import subprocess
+    out = []
+    for cmd in (["git", "diff", "--name-only", base],
+                ["git", "ls-files", "--others", "--exclude-standard"]):
+        try:
+            res = subprocess.run(cmd, cwd=root, capture_output=True,
+                                 text=True, check=True)
+        except (subprocess.CalledProcessError, OSError) as e:
+            print(f"uwb_lint: --changed-only: {' '.join(cmd)} failed: {e}",
+                  file=sys.stderr)
+            return None
+        out.extend(line.strip() for line in res.stdout.splitlines()
+                   if line.strip())
+    return sorted(set(out))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="uwb_lint", description="Determinism and unit-safety checks.")
@@ -566,29 +611,84 @@ def main(argv=None):
                         help="run only this rule (repeatable)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print rule names and exit")
+    parser.add_argument("--no-flow", action="store_true",
+                        help="skip the call-graph-aware flow rules "
+                             "(cpp_index + flow_rules)")
+    parser.add_argument("--sarif", metavar="FILE",
+                        help="also write findings as SARIF 2.1.0 to FILE")
+    parser.add_argument("--index-cache", metavar="FILE", default=None,
+                        help="index cache path (default: "
+                             "<root>/.uwb-lint-cache/index.json; "
+                             "'none' disables caching)")
+    parser.add_argument("--changed-only", metavar="BASE", nargs="?",
+                        const="origin/main",
+                        help="report findings only in files changed vs BASE "
+                             "(default origin/main) plus untracked files; "
+                             "the flow analysis still sees the whole tree "
+                             "through the index cache")
     args = parser.parse_args(argv)
+
+    # Flow rules are registered lazily: importing flow_rules here (not at
+    # module top) keeps the uwb_lint -> cpp_index -> uwb_lint import
+    # relationship one-directional at load time.
+    import flow_rules as _flow
+    import cpp_index as _idx
+    import sarif as _sarif
 
     if args.list_rules:
         for name in sorted(RULES):
             print(f"{name}: {RULES[name].__doc__.strip()}")
+        for name in _flow.FLOW_RULES:
+            doc = (_flow._CHECKS[name].__doc__ or "").strip()
+            print(f"{name}: (flow) {doc}")
         return 0
 
-    rules = args.rules or sorted(RULES)
-    unknown = [r for r in rules if r not in RULES]
+    all_rules = sorted(RULES) + list(_flow.FLOW_RULES)
+    rules = args.rules or all_rules
+    unknown = [r for r in rules if r not in all_rules]
     if unknown:
         print(f"uwb_lint: unknown rule(s): {', '.join(unknown)}",
               file=sys.stderr)
         return 2
+    file_rules = [r for r in rules if r in RULES]
+    flow_rules = [r for r in rules if r in _flow.FLOW_RULES]
+    if args.no_flow:
+        flow_rules = []
 
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
+    only = None
+    if args.changed_only is not None:
+        changed = _changed_files(root, args.changed_only)
+        if changed is None:
+            return 2
+        only = set(changed)
+
+    relpaths = discover_files(root, args.paths)
     findings = []
-    for relpath in discover_files(root, args.paths):
-        findings.extend(lint_file(root, relpath, rules))
+    for relpath in relpaths:
+        norm = relpath.replace(os.sep, "/")
+        if only is not None and norm not in only:
+            continue
+        findings.extend(lint_file(root, relpath, file_rules))
+
+    if flow_rules:
+        cache_path = args.index_cache
+        if cache_path is None:
+            cache_path = os.path.join(root, ".uwb-lint-cache", "index.json")
+        elif cache_path == "none":
+            cache_path = None
+        index, _stats = _idx.build_index(root, relpaths, cache_path)
+        for f in _flow.run_flow_rules(index, flow_rules):
+            if only is not None and f.path not in only:
+                continue
+            findings.append(f)
 
     for f in findings:
         print(f.render())
+    if args.sarif:
+        _sarif.write_sarif(findings, args.sarif)
     if findings:
         print(f"uwb_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1

@@ -1,0 +1,345 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/lint/cpp_index.py.
+
+The indexer is approximate by design; these tests pin BOTH sides of the
+contract on hostile C++ shapes.  Test names state the guarantee:
+`..._resolved` means the call-graph edge must exist, `..._unresolved`
+means the indexer must NOT invent the edge (documenting the gap is part
+of the contract — flow rules reason over it, DESIGN.md Sect. 16).
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "lint"))
+
+import cpp_index  # noqa: E402
+import uwb_lint  # noqa: E402
+
+
+class IndexTestBase(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, relpath, content):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write(content)
+        return relpath
+
+    def build(self, cache_path=None):
+        rels = uwb_lint.discover_files(self.root, [])
+        return cpp_index.build_index(self.root, rels, cache_path)
+
+    def fn(self, index, qname_suffix):
+        matches = [f for f in index.defs if f.qname.endswith(qname_suffix)]
+        self.assertEqual(
+            len(matches), 1,
+            f"{qname_suffix}: {[f.qname for f in index.defs]}")
+        return matches[0]
+
+    def callee_qnames(self, index, fn):
+        return {t.qname for t, _ in index.callees(fn)}
+
+
+class SymbolTableTest(IndexTestBase):
+    def test_qualified_names_from_nested_scopes(self):
+        self.write("src/a/x.cpp", (
+            "namespace uwb::sim {\n"
+            "class Medium {\n"
+            " public:\n"
+            "  void deliver(int rx) { (void)rx; }\n"
+            "};\n"
+            "void helper() {}\n"
+            "}  // namespace\n"))
+        index, _ = self.build()
+        names = {f.qname for f in index.defs}
+        self.assertIn("uwb::sim::Medium::deliver", names)
+        self.assertIn("uwb::sim::helper", names)
+        deliver = self.fn(index, "Medium::deliver")
+        self.assertEqual(deliver.parent_class, "uwb::sim::Medium")
+
+    def test_out_of_line_method_gets_parent_class_cross_tu(self):
+        self.write("src/a/m.hpp", (
+            "namespace uwb::sim {\n"
+            "class Medium {\n"
+            " public:\n"
+            "  void deliver(int rx);\n"
+            "  std::unordered_map<int, double> traffic_;\n"
+            "};\n"
+            "}\n"))
+        self.write("src/a/m.cpp", (
+            "#include \"a/m.hpp\"\n"
+            "namespace uwb::sim {\n"
+            "void Medium::deliver(int rx) { (void)rx; }\n"
+            "}\n"))
+        index, _ = self.build()
+        deliver = self.fn(index, "Medium::deliver")
+        self.assertTrue(deliver.is_def)
+        self.assertEqual(deliver.parent_class, "uwb::sim::Medium")
+        # ... which makes the header's container members visible to the
+        # method (float-ordering's cross-TU resolution path).
+        self.assertEqual(
+            index.class_member_kind(deliver.parent_class, "traffic_"),
+            "unordered")
+
+    def test_include_graph_and_defines_harvested(self):
+        self.write("src/a/x.cpp", (
+            "#include \"a/m.hpp\"\n"
+            "#include <vector>\n"
+            "#define MY_MACRO(x) ((x) + 1)\n"
+            "int f() { return MY_MACRO(1); }\n"))
+        index, _ = self.build()
+        tu = index.by_path["src/a/x.cpp"]
+        self.assertEqual(tu.includes, ["a/m.hpp", "vector"])
+        self.assertIn("MY_MACRO", tu.defines)
+
+    def test_constructor_initializer_list_is_not_the_function_name(self):
+        # `Medium::Medium(...) : sim_(s), fanout_(buckets()) {` — the last
+        # paren group is an initializer, not the declarator.
+        self.write("src/a/c.cpp", (
+            "namespace uwb {\n"
+            "int buckets() { return 4; }\n"
+            "struct Medium {\n"
+            "  int sim_; int fanout_;\n"
+            "  Medium(int s) : sim_(s), fanout_(buckets()) {}\n"
+            "};\n"
+            "}\n"))
+        index, _ = self.build()
+        ctor = self.fn(index, "Medium::Medium")
+        self.assertEqual(ctor.leaf, "Medium")
+        # The initializer-list call is an edge.
+        self.assertIn("uwb::buckets", self.callee_qnames(index, ctor))
+
+
+class CallGraphTest(IndexTestBase):
+    def test_qualified_free_call_resolved(self):
+        self.write("src/a/x.cpp", (
+            "namespace uwb::dsp { double energy(double x) { return x; } }\n"
+            "namespace uwb::sim {\n"
+            "double use(double x) { return dsp::energy(x); }\n"
+            "}\n"))
+        index, _ = self.build()
+        use = self.fn(index, "sim::use")
+        self.assertEqual(self.callee_qnames(index, use),
+                         {"uwb::dsp::energy"})
+
+    def test_overload_selected_by_arity(self):
+        self.write("src/a/x.cpp", (
+            "namespace uwb {\n"
+            "int pick(int a) { return a; }\n"
+            "int pick(int a, int b) { return a + b; }\n"
+            "int use() { return pick(1, 2); }\n"
+            "}\n"))
+        index, _ = self.build()
+        use = self.fn(index, "uwb::use")
+        targets = [t for t, _ in index.callees(use)]
+        self.assertEqual(len(targets), 1)
+        self.assertEqual(targets[0].params_max, 2)
+
+    def test_std_qualified_call_unresolved(self):
+        # std::sort never resolves to a project function named sort.
+        self.write("src/a/x.cpp", (
+            "namespace uwb { void sort(int* p) { (void)p; }\n"
+            "void use(int* p) { std::sort(p, p + 4); } }\n"))
+        index, _ = self.build()
+        use = self.fn(index, "uwb::use")
+        self.assertEqual(self.callee_qnames(index, use), set())
+
+    def test_common_std_member_names_unresolved(self):
+        # v.size()/v.push_back() must not resolve to same-named project
+        # methods — that would fabricate cross-subsystem dependencies.
+        self.write("src/a/x.cpp", (
+            "namespace uwb {\n"
+            "struct Shard { int size() { return 0; } };\n"
+            "int use(std::vector<int>& v) { return (int)v.size(); }\n"
+            "}\n"))
+        index, _ = self.build()
+        use = self.fn(index, "uwb::use")
+        self.assertEqual(self.callee_qnames(index, use), set())
+
+    def test_local_object_declaration_is_a_constructor_edge_resolved(self):
+        # `static Dispatch d;` runs Dispatch::Dispatch — the edge that
+        # carries the real simd getenv finding.
+        self.write("src/a/x.cpp", (
+            "namespace uwb {\n"
+            "struct Dispatch { Dispatch() { init(); } };\n"
+            "void init() {}\n"
+            "Dispatch& dispatch() { static Dispatch d; return d; }\n"
+            "}\n"))
+        index, _ = self.build()
+        disp = self.fn(index, "uwb::dispatch")
+        self.assertIn("uwb::Dispatch::Dispatch",
+                      self.callee_qnames(index, disp))
+
+    def test_template_dependent_call_resolved_when_method_name_defined(self):
+        # t.step() in a template: resolved (over-approximately) to every
+        # class method named step that exists in the tree.
+        self.write("src/a/x.cpp", (
+            "namespace uwb {\n"
+            "struct Walker { void step() {} };\n"
+            "template <typename T>\n"
+            "void run(T& t) { t.step(); }\n"
+            "}\n"))
+        index, _ = self.build()
+        run = self.fn(index, "uwb::run")
+        self.assertIn("uwb::Walker::step", self.callee_qnames(index, run))
+
+    def test_template_dependent_call_unresolved_when_name_undefined(self):
+        self.write("src/a/x.cpp", (
+            "namespace uwb {\n"
+            "template <typename T>\n"
+            "void run(T& t) { t.frobnicate(); }\n"
+            "}\n"))
+        index, _ = self.build()
+        run = self.fn(index, "uwb::run")
+        self.assertEqual(self.callee_qnames(index, run), set())
+
+    def test_infix_operator_overload_use_unresolved(self):
+        # `a + b` creates no call-shaped token; operator+ stays invisible
+        # to the call graph (documented completeness gap).
+        self.write("src/a/x.cpp", (
+            "namespace uwb {\n"
+            "struct Vec { double x; };\n"
+            "Vec operator+(Vec a, Vec b) { return {a.x + b.x}; }\n"
+            "Vec use(Vec a, Vec b) { return a + b; }\n"
+            "}\n"))
+        index, _ = self.build()
+        use = self.fn(index, "uwb::use")
+        self.assertEqual(self.callee_qnames(index, use), set())
+
+    def test_lambda_body_call_attributed_to_enclosing_function_resolved(self):
+        self.write("src/a/x.cpp", (
+            "namespace uwb {\n"
+            "void helper() {}\n"
+            "void caller() {\n"
+            "  std::function<void()> cb = [] { helper(); };\n"
+            "  cb();\n"
+            "}\n"
+            "}\n"))
+        index, _ = self.build()
+        caller = self.fn(index, "uwb::caller")
+        self.assertIn("uwb::helper", self.callee_qnames(index, caller))
+
+    def test_call_through_std_function_value_unresolved(self):
+        # cb() invokes whatever was captured; the indexer must not guess.
+        self.write("src/a/x.cpp", (
+            "namespace uwb {\n"
+            "void mystery() {}\n"
+            "void caller(std::function<void()>& cb) { cb(); }\n"
+            "}\n"))
+        index, _ = self.build()
+        caller = self.fn(index, "uwb::caller")
+        self.assertEqual(self.callee_qnames(index, caller), set())
+
+    def test_macro_expanding_to_call_unresolved(self):
+        # UWB_FR_EVENT-style macros expand to calls the scanner never sees
+        # expanded; no edge is created through the macro name (this is why
+        # obs record macros cannot poison sim-layer reachability).
+        self.write("src/a/x.cpp", (
+            "#define LOG_IT() log_impl()\n"
+            "namespace uwb {\n"
+            "void log_impl() {}\n"
+            "void caller() { LOG_IT(); }\n"
+            "}\n"))
+        index, _ = self.build()
+        caller = self.fn(index, "uwb::caller")
+        self.assertEqual(self.callee_qnames(index, caller), set())
+
+
+class BodyAnalysisTest(IndexTestBase):
+    def test_hot_path_annotation_on_comment_block_above(self):
+        self.write("src/a/x.cpp", (
+            "namespace uwb {\n"
+            "// uwb-hot-path: inner loop.\n"
+            "// More prose.\n"
+            "void hot() {}\n"
+            "void cold() {}\n"
+            "}\n"))
+        index, _ = self.build()
+        self.assertTrue(self.fn(index, "uwb::hot").hot_path)
+        self.assertFalse(self.fn(index, "uwb::cold").hot_path)
+
+    def test_banned_io_and_derive_seed_flags(self):
+        self.write("src/a/x.cpp", (
+            "namespace uwb {\n"
+            "void io() { std::ofstream f(\"x\"); (void)f; }\n"
+            "uint64_t seeded(uint64_t b) { return derive_seed(b, 1); }\n"
+            "}\n"))
+        index, _ = self.build()
+        io = self.fn(index, "uwb::io")
+        self.assertEqual([a for _, a in io.banned_io], ["std::fstream"])
+        self.assertTrue(self.fn(index, "uwb::seeded").derive_seed)
+
+    def test_push_back_with_reserve_recorded_on_both_sides(self):
+        self.write("src/a/x.cpp", (
+            "namespace uwb {\n"
+            "void fill(std::vector<int>& v, std::vector<int>& w) {\n"
+            "  v.reserve(8);\n"
+            "  v.push_back(1);\n"
+            "  w.push_back(2);\n"
+            "}\n"
+            "}\n"))
+        index, _ = self.build()
+        fill = self.fn(index, "uwb::fill")
+        self.assertEqual(fill.reserves, ["v"])
+        self.assertEqual({a[2] for a in fill.allocs if a[1] == "push_back"},
+                         {"v", "w"})
+
+    def test_raw_string_does_not_desynchronize_lines(self):
+        # The multi-line raw string spans lines 2-4; the fopen on line 6
+        # must still be reported on line 6.
+        self.write("src/a/x.cpp", (
+            "namespace uwb {\n"
+            "const char* kDoc = R\"(line one\n"
+            "std::ofstream not_code(\n"
+            ")\";\n"
+            "void io() {\n"
+            "  std::fopen(\"x\", \"r\");\n"
+            "}\n"
+            "}\n"))
+        index, _ = self.build()
+        io = self.fn(index, "uwb::io")
+        self.assertEqual(io.banned_io, [[6, "fopen"]])
+
+
+class CacheTest(IndexTestBase):
+    def test_cache_hit_and_content_keyed_invalidation(self):
+        self.write("src/a/x.cpp", "namespace uwb { void f() {} }\n")
+        self.write("src/a/y.cpp", "namespace uwb { void g() { f(); } }\n")
+        cache = os.path.join(self.root, "cache.json")
+        _, stats = self.build(cache_path=cache)
+        self.assertEqual(stats, {"parsed": 2, "cached": 0})
+        _, stats = self.build(cache_path=cache)
+        self.assertEqual(stats, {"parsed": 0, "cached": 2})
+        self.write("src/a/x.cpp", "namespace uwb { void f2() {} }\n")
+        index, stats = self.build(cache_path=cache)
+        self.assertEqual(stats, {"parsed": 1, "cached": 1})
+        self.assertIn("uwb::f2", {f.qname for f in index.defs})
+
+    def test_cached_suppressions_survive_reload(self):
+        # --changed-only filters flow findings in unchanged files through
+        # the cached TU, so suppression maps must round-trip the cache.
+        self.write("src/a/x.cpp", (
+            "namespace uwb {\n"
+            "// uwb-lint: allow(sim-host-io)\n"
+            "void io() { std::fopen(\"x\", \"r\"); }\n"
+            "}\n"))
+        cache = os.path.join(self.root, "cache.json")
+        self.build(cache_path=cache)
+        index, stats = self.build(cache_path=cache)
+        self.assertEqual(stats["cached"], 1)
+        self.assertIn("sim-host-io",
+                      index.suppressed_at("src/a/x.cpp", 3))
+
+
+if __name__ == "__main__":
+    unittest.main()

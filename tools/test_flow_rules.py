@@ -1,0 +1,369 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/lint/flow_rules.py.
+
+Fixture corpus for the four flow-aware rule families.  Every family has
+seeded violations that must be caught AND clean idioms that must be
+accepted — the clean cases are what let the tree-wide run gate CI at
+exit 0.
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "lint"))
+
+import cpp_index  # noqa: E402
+import flow_rules  # noqa: E402
+import uwb_lint  # noqa: E402
+
+
+class FlowRuleTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, relpath, content):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write(content)
+        return relpath
+
+    def run_rule(self, rule):
+        rels = uwb_lint.discover_files(self.root, [])
+        index, _ = cpp_index.build_index(self.root, rels)
+        return flow_rules.run_flow_rules(index, [rule])
+
+    def assert_sites(self, rule, sites):
+        findings = self.run_rule(rule)
+        self.assertEqual([(f.path, f.line) for f in findings], sites,
+                         msg=f"{rule}: {[f.render() for f in findings]}")
+
+
+class RngProvenanceTest(FlowRuleTest):
+    def test_literal_seed_violation(self):
+        self.write("src/sim/x.cpp", (
+            "namespace uwb {\n"
+            "void f() { Rng rng(12345); (void)rng; }\n"
+            "}\n"))
+        self.assert_sites("rng-provenance", [("src/sim/x.cpp", 2)])
+
+    def test_underived_parameter_seed_violation(self):
+        # No caller anywhere derives the seed: the chain is provably
+        # disconnected from derive_seed.
+        self.write("src/sim/x.cpp", (
+            "namespace uwb {\n"
+            "void f(std::uint64_t seed) { Rng rng(seed); (void)rng; }\n"
+            "void entry() { f(42); }\n"
+            "}\n"))
+        self.assert_sites("rng-provenance", [("src/sim/x.cpp", 2)])
+
+    def test_direct_derive_seed_clean(self):
+        self.write("src/sim/x.cpp", (
+            "namespace uwb {\n"
+            "void f(std::uint64_t base) {\n"
+            "  Rng rng(derive_seed(base, 3));\n"
+            "  (void)rng;\n"
+            "}\n"
+            "}\n"))
+        self.assert_sites("rng-provenance", [])
+
+    def test_seed_derived_in_transitive_caller_clean(self):
+        # The whole point of the call-graph upgrade over PR 5: the seed is
+        # derived two frames up and flows down through parameters.
+        self.write("src/sim/a.cpp", (
+            "namespace uwb {\n"
+            "void leafy(std::uint64_t seed) { Rng rng(seed); (void)rng; }\n"
+            "void mid(std::uint64_t s) { leafy(s); }\n"
+            "}\n"))
+        self.write("src/sim/b.cpp", (
+            "namespace uwb {\n"
+            "void top(std::uint64_t base) { mid(derive_seed(base, 1)); }\n"
+            "}\n"))
+        self.assert_sites("rng-provenance", [])
+
+    def test_rng_wrapper_itself_allowed(self):
+        # Rng::fork() constructs from a drawn value; the wrapper is the
+        # one legitimate raw-seed site.
+        self.write("src/common/random.cpp", (
+            "namespace uwb {\n"
+            "Rng Rng::fork() { return Rng(engine_()); }\n"
+            "}\n"))
+        self.assert_sites("rng-provenance", [])
+
+    def test_suppression_honoured(self):
+        self.write("src/sim/x.cpp", (
+            "namespace uwb {\n"
+            "// uwb-lint: allow(rng-provenance)\n"
+            "void f() { Rng rng(99); (void)rng; }\n"
+            "}\n"))
+        self.assert_sites("rng-provenance", [])
+
+
+class SimHostIoTest(FlowRuleTest):
+    def test_direct_fstream_in_sim_violation(self):
+        self.write("src/sim/x.cpp", (
+            "namespace uwb {\n"
+            "void dump() { std::ofstream f(\"x.csv\"); (void)f; }\n"
+            "}\n"))
+        self.assert_sites("sim-host-io", [("src/sim/x.cpp", 2)])
+
+    def test_banned_api_via_common_helper_violation_with_chain(self):
+        # The helper lives outside the sim prefixes; only reachability
+        # convicts it.  PR 5's per-file scoping could never see this.
+        self.write("src/common/env.cpp", (
+            "namespace uwb {\n"
+            "const char* env() { return std::getenv(\"UWB_X\"); }\n"
+            "}\n"))
+        self.write("src/ranging/x.cpp", (
+            "namespace uwb {\n"
+            "void detect() { env(); }\n"
+            "}\n"))
+        findings = self.run_rule("sim-host-io")
+        self.assertEqual([(f.path, f.line) for f in findings],
+                         [("src/common/env.cpp", 2)])
+        self.assertIn("uwb::detect", findings[0].message)
+        self.assertIn("uwb::env", findings[0].message)
+
+    def test_two_hop_chain_violation(self):
+        self.write("src/common/a.cpp", (
+            "namespace uwb {\n"
+            "double now_s() {\n"
+            "  return std::chrono::steady_clock::now().time_since_epoch()\n"
+            "      .count() * 1e-9;\n"
+            "}\n"
+            "double stamp() { return now_s(); }\n"
+            "}\n"))
+        self.write("src/channel/x.cpp", (
+            "namespace uwb {\n"
+            "double realize() { return stamp(); }\n"
+            "}\n"))
+        self.assert_sites("sim-host-io", [("src/common/a.cpp", 3)])
+
+    def test_helper_not_reachable_from_sim_clean(self):
+        # The runner measures wall-clock progress; nothing in the sim
+        # prefixes calls it, so it stays legal.
+        self.write("src/runner/x.cpp", (
+            "namespace uwb {\n"
+            "double wall_s() {\n"
+            "  return std::chrono::steady_clock::now().time_since_epoch()\n"
+            "      .count() * 1e-9;\n"
+            "}\n"
+            "}\n"))
+        self.write("src/sim/x.cpp", (
+            "namespace uwb {\n"
+            "void step() {}\n"
+            "}\n"))
+        self.assert_sites("sim-host-io", [])
+
+    def test_suppression_at_banned_site(self):
+        self.write("src/dw1000/x.cpp", (
+            "namespace uwb {\n"
+            "void import_trace() {\n"
+            "  // offline import, runs before the simulated timeline\n"
+            "  // uwb-lint: allow(sim-host-io)\n"
+            "  std::ifstream in(\"trace.csv\");\n"
+            "  (void)in;\n"
+            "}\n"
+            "}\n"))
+        self.assert_sites("sim-host-io", [])
+
+
+class FloatOrderingTest(FlowRuleTest):
+    def test_accumulate_over_local_unordered_violation(self):
+        self.write("src/loc/x.cpp", (
+            "namespace uwb {\n"
+            "double total() {\n"
+            "  std::unordered_map<int, double> m;\n"
+            "  return std::accumulate(m.begin(), m.end(), 0.0, add);\n"
+            "}\n"
+            "}\n"))
+        self.assert_sites("float-ordering", [("src/loc/x.cpp", 4)])
+
+    def test_accumulate_over_pointer_keyed_map_violation(self):
+        # Ordered container, but pointer keys order by allocation address.
+        self.write("src/loc/x.cpp", (
+            "namespace uwb {\n"
+            "struct Node;\n"
+            "double total() {\n"
+            "  std::map<Node*, double> m;\n"
+            "  double s = 0.0;\n"
+            "  for (const auto& kv : m) s += kv.second;\n"
+            "  return s;\n"
+            "}\n"
+            "}\n"))
+        self.assert_sites("float-ordering", [("src/loc/x.cpp", 6)])
+
+    def test_range_for_reduction_over_member_unordered_cross_tu(self):
+        # Container declared in the header, reduction in the .cpp — only
+        # the cross-TU class table links them.
+        self.write("src/obs/m.hpp", (
+            "namespace uwb {\n"
+            "class Registry {\n"
+            " public:\n"
+            "  double total();\n"
+            " private:\n"
+            "  std::unordered_map<int, double> shards_;\n"
+            "};\n"
+            "}\n"))
+        self.write("src/obs/m.cpp", (
+            "#include \"obs/m.hpp\"\n"
+            "namespace uwb {\n"
+            "double Registry::total() {\n"
+            "  double s = 0.0;\n"
+            "  for (const auto& kv : shards_) s += kv.second;\n"
+            "  return s;\n"
+            "}\n"
+            "}\n"))
+        self.assert_sites("float-ordering", [("src/obs/m.cpp", 5)])
+
+    def test_accumulate_over_unordered_returning_call_violation(self):
+        self.write("src/obs/x.cpp", (
+            "namespace uwb {\n"
+            "std::unordered_map<int, double> snapshot() { return {}; }\n"
+            "double total() {\n"
+            "  auto snap = snapshot();\n"
+            "  return std::accumulate(snapshot().begin(), snapshot().end(),\n"
+            "                         0.0, add);\n"
+            "}\n"
+            "}\n"))
+        self.assert_sites("float-ordering", [("src/obs/x.cpp", 5)])
+
+    def test_accumulate_over_vector_clean(self):
+        self.write("src/loc/x.cpp", (
+            "namespace uwb {\n"
+            "double total(const std::vector<double>& v) {\n"
+            "  return std::accumulate(v.begin(), v.end(), 0.0);\n"
+            "}\n"
+            "}\n"))
+        self.assert_sites("float-ordering", [])
+
+    def test_non_reducing_iteration_over_unordered_not_flagged_here(self):
+        # Lookup-only iteration is the per-file unordered-iteration rule's
+        # business; float-ordering fires only on reductions.
+        self.write("src/loc/x.cpp", (
+            "namespace uwb {\n"
+            "int count() {\n"
+            "  std::unordered_map<int, double> m;\n"
+            "  int n = 0;\n"
+            "  for (const auto& kv : m) { if (kv.second > 0) n = 1; }\n"
+            "  return n;\n"
+            "}\n"
+            "}\n"))
+        self.assert_sites("float-ordering", [])
+
+    def test_fma_outside_simd_violation_inside_simd_clean(self):
+        self.write("src/dsp/x.cpp", (
+            "namespace uwb {\n"
+            "double mac(double a, double b, double c) {\n"
+            "  return std::fma(a, b, c);\n"
+            "}\n"
+            "}\n"))
+        self.write("src/simd/k.cpp", (
+            "namespace uwb::simd {\n"
+            "double mac(double a, double b, double c) {\n"
+            "  return std::fma(a, b, c);\n"
+            "}\n"
+            "}\n"))
+        self.assert_sites("float-ordering", [("src/dsp/x.cpp", 3)])
+
+    def test_fp_contract_pragma_outside_simd_violation(self):
+        self.write("src/dsp/x.cpp", (
+            "#pragma STDC FP_CONTRACT ON\n"
+            "namespace uwb { double f(double a) { return a; } }\n"))
+        self.assert_sites("float-ordering", [("src/dsp/x.cpp", 1)])
+
+
+class HotPathAllocTest(FlowRuleTest):
+    def test_direct_new_in_annotated_function_violation(self):
+        self.write("src/ranging/x.cpp", (
+            "namespace uwb {\n"
+            "// uwb-hot-path: detector inner loop.\n"
+            "void correlate() { double* p = new double[8]; delete[] p; }\n"
+            "}\n"))
+        self.assert_sites("hot-path-alloc", [("src/ranging/x.cpp", 3)])
+
+    def test_transitive_push_back_without_reserve_violation(self):
+        self.write("src/sim/x.cpp", (
+            "namespace uwb {\n"
+            "void grow(std::vector<int>& v) { v.push_back(1); }\n"
+            "// uwb-hot-path: per-frame delivery.\n"
+            "void deliver(std::vector<int>& v) { grow(v); }\n"
+            "}\n"))
+        findings = self.run_rule("hot-path-alloc")
+        self.assertEqual([(f.path, f.line) for f in findings],
+                         [("src/sim/x.cpp", 2)])
+        self.assertIn("uwb::deliver", findings[0].message)
+
+    def test_push_back_with_same_function_reserve_clean(self):
+        self.write("src/sim/x.cpp", (
+            "namespace uwb {\n"
+            "// uwb-hot-path\n"
+            "void fill(std::vector<int>& v, int n) {\n"
+            "  v.reserve(static_cast<std::size_t>(n));\n"
+            "  for (int i = 0; i < n; ++i) v.push_back(i);\n"
+            "}\n"
+            "}\n"))
+        self.assert_sites("hot-path-alloc", [])
+
+    def test_allocation_outside_hot_set_clean(self):
+        self.write("src/sim/x.cpp", (
+            "namespace uwb {\n"
+            "void setup() { double* p = new double[8]; delete[] p; }\n"
+            "// uwb-hot-path\n"
+            "void deliver(double* p) { p[0] = 1.0; }\n"
+            "}\n"))
+        self.assert_sites("hot-path-alloc", [])
+
+    def test_std_function_parameter_on_reachable_callee_violation(self):
+        # Passing a lambda into a std::function parameter allocates the
+        # type-erased target; the hazard anchors at the signature.
+        self.write("src/sim/x.cpp", (
+            "namespace uwb {\n"
+            "void schedule(std::function<void()> cb) { cb(); }\n"
+            "// uwb-hot-path\n"
+            "void deliver() { schedule([] {}); }\n"
+            "}\n"))
+        self.assert_sites("hot-path-alloc", [("src/sim/x.cpp", 2)])
+
+    def test_suppression_honoured(self):
+        self.write("src/sim/x.cpp", (
+            "namespace uwb {\n"
+            "// uwb-hot-path\n"
+            "void deliver(std::vector<int>& v) {\n"
+            "  // steady-state capacity, ramp-only growth\n"
+            "  v.push_back(1);  // uwb-lint: allow(hot-path-alloc)\n"
+            "}\n"
+            "}\n"))
+        self.assert_sites("hot-path-alloc", [])
+
+
+class DriverIntegrationTest(FlowRuleTest):
+    def test_flow_rules_run_through_main_and_gate_exit_code(self):
+        self.write("src/sim/x.cpp", (
+            "namespace uwb {\n"
+            "void f() { Rng rng(7); (void)rng; }\n"
+            "}\n"))
+        self.assertEqual(uwb_lint.main(
+            ["--root", self.root, "--rule", "rng-provenance"]), 1)
+        self.assertEqual(uwb_lint.main(
+            ["--root", self.root, "--rule", "rng-provenance",
+             "--no-flow"]), 0)
+
+    def test_per_file_rules_unchanged_on_new_substrate(self):
+        # PR 5 rules keep running alongside the flow rules in one pass.
+        self.write("src/sim/x.cpp", (
+            "namespace uwb {\n"
+            "int bad() { return rand(); }\n"
+            "}\n"))
+        self.assertEqual(uwb_lint.main(["--root", self.root]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -310,6 +310,59 @@ class LintFixtureTest(unittest.TestCase):
             "auto t = std::chrono::steady_clock::now();\n"))
         self.assert_findings(p, "no-wall-clock-in-sim", [2])
 
+    # -- raw string literals ----------------------------------------------
+
+    def test_raw_string_masking_fixed(self):
+        # A quote inside a raw string used to leave the stripper inside a
+        # "string" until the next quote, blanking real code after it.
+        p = self.write("src/sim/raw1.cpp", (
+            "const char* a = R\"(quote: \")\";\n"
+            "int bad = rand();\n"))
+        self.assert_findings(p, "no-raw-random", [2])
+
+    def test_raw_string_false_positive_fixed(self):
+        # ...and, symmetrically, could leave real string contents exposed
+        # as if they were code.
+        p = self.write("src/sim/raw2.cpp", (
+            "const char* a = u8R\"(quote: \")\";\n"
+            "const char* b = \"std::random_device in prose\";\n"))
+        self.assert_findings(p, "no-raw-random", [])
+
+    def test_raw_string_with_delimiter(self):
+        p = self.write("src/sim/raw3.cpp", (
+            "const char* a = R\"x(contains )\" and rand() text)x\";\n"
+            "int ok = 0;\n"))
+        self.assert_findings(p, "no-raw-random", [])
+
+    def test_multiline_raw_string_preserves_line_numbers(self):
+        p = self.write("src/sim/raw4.cpp", (
+            "const char* doc = R\"(line one\n"
+            "rand() inside the raw string\n"
+            "last raw line)\";\n"
+            "int bad = rand();\n"))
+        self.assert_findings(p, "no-raw-random", [4])
+
+    def test_identifier_ending_in_r_is_not_a_raw_string_prefix(self):
+        # FOOBAR"..." is a macro-token paste or user literal, not R"...".
+        p = self.write("src/sim/raw5.cpp", (
+            "int x = FOOBAR\"(text\";\n"
+            "int bad = rand();\n"))
+        self.assert_findings(p, "no-raw-random", [2])
+
+    def test_unterminated_string_stops_at_newline(self):
+        # A lone quote (e.g. inside an #error) must not swallow the rest
+        # of the file and mask later findings.
+        p = self.write("src/sim/raw6.cpp", (
+            "#error missing \" quote\n"
+            "int bad = rand();\n"))
+        self.assert_findings(p, "no-raw-random", [2])
+
+    def test_apostrophe_in_preprocessor_text_is_not_a_char_literal(self):
+        p = self.write("src/sim/raw7.cpp", (
+            "#error can't happen\n"
+            "int bad = rand();\n"))
+        self.assert_findings(p, "no-raw-random", [2])
+
     # -- driver behaviour -------------------------------------------------
 
     def test_main_exit_codes(self):
@@ -322,6 +375,117 @@ class LintFixtureTest(unittest.TestCase):
     def test_unknown_rule_is_usage_error(self):
         self.assertEqual(
             uwb_lint.main(["--root", self.root, "--rule", "no-such-rule"]), 2)
+
+
+class SarifOutputTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, relpath, content):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write(content)
+        return relpath
+
+    def test_sarif_file_written_with_findings(self):
+        import json
+        self.write("src/sim/bad.cpp", "int x = rand();\n")
+        out = os.path.join(self.root, "lint.sarif")
+        rc = uwb_lint.main(["--root", self.root, "--sarif", out])
+        self.assertEqual(rc, 1)
+        with open(out) as f:
+            log = json.load(f)
+        self.assertEqual(log["version"], "2.1.0")
+        results = log["runs"][0]["results"]
+        self.assertEqual(len(results), 1)
+        self.assertEqual(results[0]["ruleId"], "no-raw-random")
+        loc = results[0]["locations"][0]["physicalLocation"]
+        self.assertEqual(loc["artifactLocation"]["uri"], "src/sim/bad.cpp")
+        self.assertEqual(loc["region"]["startLine"], 1)
+        rule_ids = [r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]]
+        self.assertIn("rng-provenance", rule_ids)
+
+    def test_sarif_written_empty_on_clean_tree(self):
+        import json
+        self.write("src/sim/good.cpp", "int x = 0;\n")
+        out = os.path.join(self.root, "lint.sarif")
+        rc = uwb_lint.main(["--root", self.root, "--sarif", out])
+        self.assertEqual(rc, 0)
+        with open(out) as f:
+            log = json.load(f)
+        self.assertEqual(log["runs"][0]["results"], [])
+
+
+class ChangedOnlyTest(unittest.TestCase):
+    """--changed-only filters *reported* findings to changed/untracked
+    files while the flow analysis still spans the whole tree."""
+
+    def setUp(self):
+        import subprocess
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+        env = dict(os.environ,
+                   GIT_AUTHOR_NAME="t", GIT_AUTHOR_EMAIL="t@t",
+                   GIT_COMMITTER_NAME="t", GIT_COMMITTER_EMAIL="t@t")
+        self.env = env
+
+        def git(*args):
+            subprocess.run(["git", *args], cwd=self.root, env=env,
+                           check=True, capture_output=True)
+        self.git = git
+        git("init", "-q")
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, relpath, content):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write(content)
+        return relpath
+
+    def test_findings_limited_to_changed_files(self):
+        self.write("src/sim/old.cpp", "int a = rand();\n")
+        self.git("add", "-A")
+        self.git("commit", "-q", "-m", "base")
+        self.write("src/sim/new.cpp", "int b = rand();\n")
+        # Full run sees both; changed-only reports just the new file.
+        self.assertEqual(uwb_lint.main(["--root", self.root]), 1)
+        import io
+        from contextlib import redirect_stdout
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            rc = uwb_lint.main(
+                ["--root", self.root, "--changed-only", "HEAD"])
+        self.assertEqual(rc, 1)
+        out = buf.getvalue()
+        self.assertIn("src/sim/new.cpp", out)
+        self.assertNotIn("src/sim/old.cpp", out)
+
+    def test_flow_analysis_still_sees_unchanged_callers(self):
+        # The derive_seed provenance for the *changed* file lives in an
+        # unchanged caller: the full-tree index must still clear it.
+        self.write("src/sim/top.cpp", (
+            "namespace uwb {\n"
+            "void leafy(std::uint64_t seed);\n"
+            "void top(std::uint64_t b) { leafy(derive_seed(b, 1)); }\n"
+            "}\n"))
+        self.git("add", "-A")
+        self.git("commit", "-q", "-m", "base")
+        self.write("src/sim/leaf.cpp", (
+            "namespace uwb {\n"
+            "void leafy(std::uint64_t seed) { Rng r(seed); (void)r; }\n"
+            "}\n"))
+        rc = uwb_lint.main(
+            ["--root", self.root, "--changed-only", "HEAD",
+             "--rule", "rng-provenance"])
+        self.assertEqual(rc, 0)
 
 
 if __name__ == "__main__":
